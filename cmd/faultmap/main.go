@@ -1,0 +1,109 @@
+// Command faultmap generates an (R_def, U) fault-region map for a chosen
+// open defect and sensitizing operation sequence — the tool behind the
+// paper's Figures 3 and 4.
+//
+// Usage:
+//
+//	faultmap -open 4 -sos "<1r1/0/0>" [-engine behav|spice]
+//	         [-rdef-min 1e3] [-rdef-max 1e7] [-rdef-steps 13]
+//	         [-u-min 0] [-u-max 3.3] [-u-steps 12] [-csv]
+//
+// The -sos flag accepts either a bare SOS ("1r1", "1v [w0BL] r1v") or a
+// full fault primitive whose S part is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/behav"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/numeric"
+	"github.com/memtest/partialfaults/internal/report"
+)
+
+func main() {
+	var (
+		openID    = flag.Int("open", 4, "open defect number (1-9, Figure 2)")
+		sosStr    = flag.String("sos", "1r1", "sensitizing operation sequence or fault primitive")
+		floatVar  = flag.String("float", "", "floating voltage to sweep (default: the open's primary group)")
+		engine    = flag.String("engine", "behav", "simulation engine: behav (analytical) or spice (transient)")
+		rdefMin   = flag.Float64("rdef-min", 1e3, "minimum open resistance [Ω]")
+		rdefMax   = flag.Float64("rdef-max", 1e7, "maximum open resistance [Ω]")
+		rdefSteps = flag.Int("rdef-steps", 13, "log-spaced resistance steps")
+		uMin      = flag.Float64("u-min", 0, "minimum floating voltage [V]")
+		uMax      = flag.Float64("u-max", 3.3, "maximum floating voltage [V]")
+		uSteps    = flag.Int("u-steps", 12, "linear voltage steps")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
+	)
+	flag.Parse()
+
+	open, ok := defect.ByID(*openID)
+	if !ok {
+		fatalf("unknown open %d; the paper defines opens 1-9", *openID)
+	}
+	sos, err := parseSOSOrFP(*sosStr)
+	if err != nil {
+		fatalf("bad -sos: %v", err)
+	}
+	group := open.Floats[0]
+	if *floatVar != "" {
+		g, ok := open.Float(defect.FloatVar(*floatVar))
+		if !ok {
+			fatalf("open %d has no floating group %q", *openID, *floatVar)
+		}
+		group = g
+	}
+	var factory analysis.Factory
+	switch *engine {
+	case "behav":
+		factory = behav.NewFactory(behav.DefaultParams())
+	case "spice":
+		factory = analysis.NewSpiceFactory(dram.Default())
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	plane, err := analysis.SweepPlane(analysis.SweepConfig{
+		Factory: factory, Open: open, Float: group, SOS: sos,
+		RDefs: numeric.Logspace(*rdefMin, *rdefMax, *rdefSteps),
+		Us:    numeric.Linspace(*uMin, *uMax, *uSteps),
+	})
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	if *csv {
+		if err := report.WritePlaneCSV(os.Stdout, plane); err != nil {
+			fatalf("csv: %v", err)
+		}
+		return
+	}
+	if err := report.WritePlane(os.Stdout, plane); err != nil {
+		fatalf("map: %v", err)
+	}
+	for _, f := range analysis.IdentifyPartialFaults(plane) {
+		fmt.Printf("partial fault: %s observed only for U ∈ [%.2f, %.2f] V (e.g. %s)\n",
+			f.FFM, f.ULow, f.UHigh, f.Example)
+	}
+}
+
+func parseSOSOrFP(s string) (fp.SOS, error) {
+	if strings.HasPrefix(strings.TrimSpace(s), "<") {
+		p, err := fp.Parse(s)
+		if err != nil {
+			return fp.SOS{}, err
+		}
+		return p.S, nil
+	}
+	return fp.ParseSOS(s)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultmap: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command marchsim runs march tests against fault-injected functional
+// memories and reports guaranteed detection — the engine behind the
+// paper's March PF claim and the classical-test comparison.
+//
+// Usage:
+//
+//	marchsim                             # full coverage matrix
+//	marchsim -test "March PF"            # one test against the catalog
+//	marchsim -test custom -notation "{m(w0); u(r0,w1); d(r1,w0)}"
+//	marchsim -fault "<1v [w0BL] r1v/0/0>" -float "Bit line"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/report"
+)
+
+func main() {
+	var (
+		testName = flag.String("test", "", "run only the named test (default: whole library)")
+		notation = flag.String("notation", "", "march notation for a custom -test")
+		faultStr = flag.String("fault", "", "single fault primitive to evaluate (default: full catalog)")
+		floatVar = flag.String("float", "Bit line", "mediating floating voltage for a partial -fault")
+		rows     = flag.Int("rows", 4, "array rows")
+		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
+	)
+	flag.Parse()
+
+	tests := march.All()
+	if *testName != "" {
+		if *notation != "" {
+			t, err := march.Parse(*testName, *notation)
+			if err != nil {
+				fatalf("bad -notation: %v", err)
+			}
+			tests = []march.Test{t}
+		} else {
+			var found bool
+			for _, t := range march.All() {
+				if t.Name == *testName {
+					tests = []march.Test{t}
+					found = true
+					break
+				}
+			}
+			if !found {
+				fatalf("unknown test %q (and no -notation given)", *testName)
+			}
+		}
+	}
+
+	catalog := append(march.ClassicalFaultCatalog(), march.PaperFaultCatalog()...)
+	if *faultStr != "" {
+		p, err := fp.Parse(*faultStr)
+		if err != nil {
+			fatalf("bad -fault: %v", err)
+		}
+		catalog = []march.CatalogEntry{{
+			Name: p.String(), FP: p,
+			Float:   defect.FloatVar(*floatVar),
+			Partial: p.IsCompleted(),
+		}}
+	}
+
+	for _, t := range tests {
+		fmt.Printf("%-9s (%2dN): %s\n", t.Name, t.Length(), t)
+	}
+	fmt.Println()
+
+	results, err := march.CoverageMatrix(tests, catalog, *rows, *cols)
+	if err != nil {
+		fatalf("coverage: %v", err)
+	}
+	names := make([]string, len(tests))
+	for i, t := range tests {
+		names[i] = t.Name
+	}
+	if err := report.WriteCoverage(os.Stdout, results, names); err != nil {
+		fatalf("report: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "marchsim: "+format+"\n", args...)
+	os.Exit(1)
+}

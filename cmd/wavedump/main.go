@@ -1,0 +1,97 @@
+// Command wavedump runs an operation sequence on the (optionally
+// defective) electrical DRAM column and dumps the transient waveforms of
+// selected nets as CSV — for inspecting the charge-sharing and
+// sense-amplifier dynamics behind the fault-region maps.
+//
+// Usage:
+//
+//	wavedump -ops "w1,r1" -nets btS,bcS,c0s
+//	wavedump -open 4 -rdef 1e7 -u 0 -ops "w1,r1" -nets btC,btS,c0s,obuf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+func main() {
+	var (
+		openID = flag.Int("open", 0, "open defect number to inject (0 = healthy)")
+		rdef   = flag.Float64("rdef", 1e6, "open resistance [Ω]")
+		u      = flag.Float64("u", -1, "floating-voltage initialization before the last operation [V] (-1 = none)")
+		opsStr = flag.String("ops", "w1,r1", "comma-separated operations: w0,w1,r0,r1 (to the victim) or W0,W1 (to the bit-line neighbour)")
+		nets   = flag.String("nets", dram.NetBTSA+","+dram.NetBCSA+","+dram.NetCell0Store, "comma-separated nets to record")
+	)
+	flag.Parse()
+
+	col := dram.NewColumn(dram.Default())
+	var floatNets []string
+	if *openID != 0 {
+		o, ok := defect.ByID(*openID)
+		if !ok {
+			fatalf("unknown open %d", *openID)
+		}
+		col.SetSiteResistance(o.Site, *rdef)
+		floatNets = o.Floats[0].Nets
+	}
+	if err := col.PowerUp(); err != nil {
+		fatalf("power-up: %v", err)
+	}
+
+	ops := strings.Split(*opsStr, ",")
+	rec, release := col.Capture(strings.Split(*nets, ",")...)
+	defer release()
+
+	for i, op := range ops {
+		op = strings.TrimSpace(op)
+		if i == len(ops)-1 && *u >= 0 && len(floatNets) > 0 {
+			col.SetNodeVoltages(*u, floatNets...)
+		}
+		if err := apply(col, op); err != nil {
+			fatalf("op %q: %v", op, err)
+		}
+	}
+	if err := rec.WriteCSV(os.Stdout); err != nil {
+		fatalf("csv: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wavedump: %d ops, victim cell at %.3f V, output %d\n",
+		len(ops), col.CellVoltage(0), col.OutputBit())
+}
+
+// apply performs one operation token on the column.
+func apply(col *dram.Column, op string) error {
+	if len(op) != 2 {
+		return fmt.Errorf("bad operation token")
+	}
+	cell := 0
+	if op[0] == 'W' || op[0] == 'R' {
+		cell = 1
+	}
+	data, err := strconv.Atoi(op[1:])
+	if err != nil || (data != 0 && data != 1) {
+		return fmt.Errorf("bad data bit")
+	}
+	switch op[0] {
+	case 'w', 'W':
+		return col.Write(cell, data)
+	case 'r', 'R':
+		got, err := col.Read(cell)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wavedump: %s returned %d\n", op, got)
+		return nil
+	}
+	return fmt.Errorf("bad operation kind")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wavedump: "+format+"\n", args...)
+	os.Exit(1)
+}

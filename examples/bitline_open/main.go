@@ -1,0 +1,74 @@
+// Bit-line open walkthrough: regenerates the paper's Figure 3 — the
+// (R_def, U) fault-region plane of a bit-line open (Open 4) under the
+// bare SOS 1r1 (partial RDF1) and under the completed SOS
+// 1v [w0BL] r1v (RDF1 for every floating voltage) — and runs the
+// automatic completing-operation search.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/behav"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/numeric"
+	"github.com/memtest/partialfaults/internal/report"
+)
+
+func main() {
+	open, _ := defect.ByID(4)
+	group, _ := open.Float(defect.FloatBitLine)
+	factory := behav.NewFactory(behav.DefaultParams())
+
+	rdefs := numeric.Logspace(1e3, 1e7, 9)
+	us := numeric.Linspace(0, 3.3, 10)
+
+	sweep := func(sos fp.SOS, caption string) *analysis.Plane {
+		plane, err := analysis.SweepPlane(analysis.SweepConfig{
+			Factory: factory, Open: open, Float: group, SOS: sos,
+			RDefs: rdefs, Us: us,
+		})
+		if err != nil {
+			log.Fatalf("sweep %q: %v", sos, err)
+		}
+		fmt.Println(caption)
+		if err := report.WritePlane(os.Stdout, plane); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		return plane
+	}
+
+	// Figure 3(a): the bare read — a partial fault.
+	bare := sweep(fp.NewSOS(fp.Init1, fp.R(1)), "=== Figure 3(a): S = 1r1 ===")
+	findings := analysis.IdentifyPartialFaults(bare)
+	for _, f := range findings {
+		fmt.Printf("Section 3 rule: %s is PARTIAL — observed only for U ∈ [%.2f, %.2f] V\n\n",
+			f.FFM, f.ULow, f.UHigh)
+	}
+
+	// The automatic completing-operation search.
+	comp, err := analysis.SearchCompletion(analysis.CompletionConfig{
+		Factory: factory, Open: open, Float: group,
+		Base:  fp.MustParse("<1r1/0/0>"),
+		RDefs: []float64{1e5, 1e7},
+		Us:    us,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !comp.Possible {
+		log.Fatal("no completion found — unexpected for Open 4")
+	}
+	fmt.Printf("completing-operation search (%d candidates tried): %s\n\n",
+		comp.Tried, comp.Completed)
+
+	// Figure 3(b): the completed SOS — fault for every floating voltage.
+	completed := sweep(comp.Completed.S, "=== Figure 3(b): S = 1v [w0BL] r1v ===")
+	if analysis.IsCompletedIn(completed, fp.RDF1) {
+		fmt.Println("RDF1 is now sensitized for every initial bit-line voltage ✓")
+	}
+}

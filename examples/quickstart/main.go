@@ -1,0 +1,53 @@
+// Quickstart: build a DRAM column, inject a bit-line open, and watch a
+// partial fault appear and disappear with the floating bit-line voltage —
+// the paper's Figure 1 scenario in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+func main() {
+	// A healthy 0.35 µm-class column, simulated at the electrical level.
+	col := dram.NewColumn(dram.Default())
+	if err := col.PowerUp(); err != nil {
+		log.Fatalf("power-up: %v", err)
+	}
+
+	// Healthy behaviour: write 1, read 1.
+	if err := col.Write(0, 1); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	got, err := col.Read(0)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("healthy column:  w1 → r%d (cell at %.2f V)\n", got, col.CellVoltage(0))
+
+	// Inject the paper's Figure 1 defect: a 10 MΩ open on the bit line
+	// between the cell and the precharge devices (Open 4).
+	col.SetSiteResistance(dram.SiteOpen4BLPre, 10e6)
+
+	// The march test {m(w1, r1)} implied by the RDF1 fault model passes:
+	// the w1 preconditions the floating bit line high.
+	if err := col.Write(0, 1); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	got, _ = col.Read(0)
+	fmt.Printf("defective, w1;r1: r%d — the fault hides (BL preconditioned high)\n", got)
+
+	// A completing w0 to ANOTHER cell on the same bit line pulls the
+	// floating line low; now the read destroys the stored 1.
+	if err := col.Write(0, 1); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	if err := col.Write(1, 0); err != nil { // completing operation
+		log.Fatalf("write: %v", err)
+	}
+	got, _ = col.Read(0)
+	fmt.Printf("defective, w1v [w0BL] r1v: r%d, cell left at %.2f V — the completed fault <1v [w0BL] r1v/0/0>\n",
+		got, col.CellVoltage(0))
+}

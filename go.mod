@@ -1,0 +1,3 @@
+module github.com/memtest/partialfaults
+
+go 1.22

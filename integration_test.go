@@ -1,0 +1,135 @@
+package partialfaults
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// These integration tests exercise the public facade end-to-end: the
+// full paper pipeline through only exported API.
+
+func TestIntegrationPaperHeadlineViaFacade(t *testing.T) {
+	// The complete Figure 3 story through the public API.
+	open, ok := OpenByID(4)
+	if !ok {
+		t.Fatal("Open 4 missing")
+	}
+	group := open.Floats[0]
+
+	bare, err := SweepPlane(SweepConfig{
+		Factory: NewBehavFactory(), Open: open, Float: group,
+		SOS:   MustParseFP("<1r1/0/0>").S,
+		RDefs: []float64{1e3, 1e5, 1e7},
+		Us:    []float64{0, 1.65, 3.3},
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	findings := IdentifyPartialFaults(bare)
+	if len(findings) == 0 {
+		t.Fatal("the bare 1r1 must be partial for Open 4")
+	}
+
+	comp, err := SearchCompletion(CompletionConfig{
+		Factory: NewBehavFactory(), Open: open, Float: group,
+		Base:  MustParseFP("<1r1/0/0>"),
+		RDefs: []float64{1e6},
+		Us:    []float64{0, 1.65, 3.3},
+	})
+	if err != nil {
+		t.Fatalf("completion: %v", err)
+	}
+	if !comp.Possible || comp.Completed.String() != "<1v [w0BL] r1v/0/0>" {
+		t.Fatalf("completion = %v %s, want the paper's <1v [w0BL] r1v/0/0>", comp.Possible, comp.Completed)
+	}
+}
+
+func TestIntegrationElectricalColumnViaFacade(t *testing.T) {
+	col := NewColumn(DefaultTechnology())
+	if err := col.PowerUp(); err != nil {
+		t.Fatalf("power-up: %v", err)
+	}
+	if err := col.Write(0, 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := col.Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got != 1 {
+		t.Errorf("read = %d, want 1", got)
+	}
+}
+
+func TestIntegrationBehavModelViaFacade(t *testing.T) {
+	m := NewBehavModel()
+	if err := m.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Read(1); got != 1 {
+		t.Errorf("behav read = %d, want 1", got)
+	}
+}
+
+func TestIntegrationMarchPFViaFacade(t *testing.T) {
+	pf := MarchPF()
+	if pf.Length() != 16 {
+		t.Errorf("March PF length = %dN, want 16N", pf.Length())
+	}
+	parsed, err := ParseMarchTest("copy", pf.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if parsed.String() != pf.String() {
+		t.Error("march notation round trip failed")
+	}
+	if len(MarchTests()) < 9 {
+		t.Errorf("library has %d tests, want ≥ 9", len(MarchTests()))
+	}
+
+	arr := NewMemArray(3, 3)
+	if err := arr.Inject(InjectableFault{
+		Victim: 4,
+		FP:     MustParseFP("<[w1 w1 w0] r0/1/1>"),
+		Float:  defect.FloatMemoryCell,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := pf.Run(arr, nil); len(ms) == 0 {
+		t.Error("March PF must catch the Open 1 completed RDF0")
+	}
+}
+
+func TestIntegrationOpensCatalog(t *testing.T) {
+	opens := Opens()
+	if len(opens) != 9 {
+		t.Fatalf("Opens() = %d, want 9", len(opens))
+	}
+	for i, o := range opens {
+		if o.ID != i+1 {
+			t.Errorf("open %d has ID %d", i, o.ID)
+		}
+		if !strings.Contains(o.Name(), "Open") {
+			t.Errorf("open name %q", o.Name())
+		}
+	}
+	if _, ok := OpenByID(42); ok {
+		t.Error("OpenByID(42) must not exist")
+	}
+}
+
+func TestIntegrationFPFacade(t *testing.T) {
+	p, err := ParseFP("<1v [w0BL] r1v/0/0>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Classify() != fp.RDF1 {
+		t.Errorf("classified %s, want RDF1", p.Classify())
+	}
+	if CountSingleCellFPs(1) != 10 {
+		t.Error("static one-op FP count must be 10")
+	}
+}

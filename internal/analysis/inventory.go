@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// Row is one entry of the partial-fault inventory — the shape of the
+// paper's Table 1: the simulated FFM, the FFM of the complementary
+// defect, the open, the completed FP (or "Not possible"), and the
+// floating voltage that mediates the fault.
+type Row struct {
+	// SimFFM is the partial fault observed in simulation.
+	SimFFM fp.FFM
+	// ComFFM is the behaviour of the complementary defect [Al-Ars00].
+	ComFFM fp.FFM
+	// Open is the injected defect.
+	Open defect.Open
+	// Float is the mediating floating voltage ("Initialized volt.").
+	Float defect.FloatVar
+	// Possible is false for the "Not possible" entries.
+	Possible bool
+	// Completed is the completed FP when Possible.
+	Completed fp.FP
+	// Partial is the underlying partial finding.
+	Partial PartialFinding
+}
+
+// CompletedString renders the Completed column as the paper does.
+func (r Row) CompletedString() string {
+	if !r.Possible {
+		return "Not possible"
+	}
+	return r.Completed.String()
+}
+
+// InventoryConfig parameterizes the full Table 1 pipeline.
+type InventoryConfig struct {
+	// Factory builds devices under analysis.
+	Factory Factory
+	// Opens to analyze; defaults to defect.SimulatedOpens().
+	Opens []defect.Open
+	// RDefs and Us are the sweep grid; probe subsets are derived.
+	RDefs, Us []float64
+	// BaseSOSes are the sensitizing sequences to sweep; defaults to the
+	// eight static single-cell SOSes (covering all 12 static FPs).
+	BaseSOSes []fp.SOS
+	// MaxCompletingOps bounds the completion search (default 3).
+	MaxCompletingOps int
+	// MaxProbeRDefs caps how many partial R_def rows the completion
+	// search re-simulates (default 4: smallest, largest, median, first-third).
+	MaxProbeRDefs int
+	// Parallelism bounds concurrent simulations per sweep.
+	Parallelism int
+	// Progress, when non-nil, receives one line per pipeline step.
+	Progress func(string)
+}
+
+// StaticSOSes returns the eight single-cell SOSes with #O ≤ 1 — the
+// sequences whose faulty outcomes are the 12 static FPs of [vdGoor00].
+func StaticSOSes() []fp.SOS {
+	return []fp.SOS{
+		fp.NewSOS(fp.Init0),
+		fp.NewSOS(fp.Init1),
+		fp.NewSOS(fp.Init0, fp.W(0)),
+		fp.NewSOS(fp.Init0, fp.W(1)),
+		fp.NewSOS(fp.Init1, fp.W(0)),
+		fp.NewSOS(fp.Init1, fp.W(1)),
+		fp.NewSOS(fp.Init0, fp.R(0)),
+		fp.NewSOS(fp.Init1, fp.R(1)),
+	}
+}
+
+// BuildInventory runs the full paper pipeline: for every open and every
+// floating-voltage group, sweep each base SOS over the (R_def, U) grid,
+// apply the partial-fault rule, and search completing operations for
+// every partial FFM found.
+func BuildInventory(cfg InventoryConfig) ([]Row, error) {
+	opens := cfg.Opens
+	if opens == nil {
+		opens = defect.SimulatedOpens()
+	}
+	soses := cfg.BaseSOSes
+	if soses == nil {
+		soses = StaticSOSes()
+	}
+	maxProbe := cfg.MaxProbeRDefs
+	if maxProbe <= 0 {
+		maxProbe = 4
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+
+	var rows []Row
+	for _, open := range opens {
+		for _, group := range open.Floats {
+			seen := map[fp.FFM]bool{}
+			for _, sos := range soses {
+				plane, err := SweepPlane(SweepConfig{
+					Factory: cfg.Factory, Open: open, Float: group, SOS: sos,
+					RDefs: cfg.RDefs, Us: cfg.Us, Parallelism: cfg.Parallelism,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("analysis: %s %s sweep %q: %w", open.Name(), group.Var, sos, err)
+				}
+				for _, finding := range IdentifyPartialFaults(plane) {
+					if seen[finding.FFM] {
+						continue
+					}
+					seen[finding.FFM] = true
+					progress(fmt.Sprintf("%s / %s: partial %s via %q", open.Name(), group.Var, finding.FFM, sos))
+					probes := probeRDefs(finding.RDefWithPartial, maxProbe)
+					comp, err := SearchCompletion(CompletionConfig{
+						Factory: cfg.Factory, Open: open, Float: group,
+						Base:  finding.Example.Base(),
+						RDefs: probes, Us: cfg.Us, MaxOps: cfg.MaxCompletingOps,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("analysis: completing %s for %s: %w", finding.FFM, open.Name(), err)
+					}
+					rows = append(rows, Row{
+						SimFFM:    finding.FFM,
+						ComFFM:    finding.FFM.Complement(),
+						Open:      open,
+						Float:     group.Var,
+						Possible:  comp.Possible,
+						Completed: comp.Completed,
+						Partial:   finding,
+					})
+				}
+			}
+		}
+	}
+	sortRows(rows)
+	return rows, nil
+}
+
+// probeRDefs picks up to n representative resistances (smallest, median
+// and largest partial rows) for the completion search; the search only
+// needs one of them to admit a full-U completion.
+func probeRDefs(rdefs []float64, n int) []float64 {
+	if len(rdefs) <= n {
+		return rdefs
+	}
+	out := []float64{rdefs[0]}
+	if n > 1 {
+		out = append(out, rdefs[len(rdefs)-1])
+	}
+	if n > 2 {
+		out = append(out, rdefs[len(rdefs)/2])
+	}
+	for len(out) < n {
+		out = append(out, rdefs[len(rdefs)/3])
+	}
+	return out
+}
+
+// sortRows orders like the paper's Table 1: grouped by FFM, then open.
+func sortRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].SimFFM != rows[j].SimFFM {
+			return rows[i].SimFFM < rows[j].SimFFM
+		}
+		return rows[i].Open.ID < rows[j].Open.ID
+	})
+}

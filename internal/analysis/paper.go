@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// PaperRow is one row of the paper's Table 1, encoded literally.
+type PaperRow struct {
+	// SimFFM and ComFFM are the table's first two columns.
+	SimFFM, ComFFM fp.FFM
+	// OpenIDs lists the opens of the row (the paper groups several).
+	OpenIDs []int
+	// Completed is the published completed FP, or empty for
+	// "Not possible".
+	Completed string
+	// Float is the "Initialized volt." column.
+	Float defect.FloatVar
+}
+
+// Possible reports whether the row has a completion.
+func (r PaperRow) Possible() bool { return r.Completed != "" }
+
+// PaperTable1 returns the paper's Table 1, row by row.
+func PaperTable1() []PaperRow {
+	return []PaperRow{
+		{SimFFM: fp.RDF0, ComFFM: fp.RDF1, OpenIDs: []int{1}, Completed: "<[w1 w1 w0] r0/1/1>", Float: defect.FloatMemoryCell},
+		{SimFFM: fp.RDF0, ComFFM: fp.RDF1, OpenIDs: []int{5}, Completed: "<0v [w1BL] r0v/1/1>", Float: defect.FloatBitLine},
+		{SimFFM: fp.RDF0, ComFFM: fp.RDF1, OpenIDs: []int{8}, Completed: "<0v [w1BL] r0v/1/1>", Float: defect.FloatOutBuffer},
+		{SimFFM: fp.RDF1, ComFFM: fp.RDF0, OpenIDs: []int{3, 4, 5}, Completed: "<1v [w0BL] r1v/0/0>", Float: defect.FloatBitLine},
+		{SimFFM: fp.RDF1, ComFFM: fp.RDF0, OpenIDs: []int{8}, Completed: "<1v [w0BL] r1v/0/0>", Float: defect.FloatOutBuffer},
+		{SimFFM: fp.RDF1, ComFFM: fp.RDF0, OpenIDs: []int{7}, Completed: "<1v [w0BL] r1v/0/0>", Float: defect.FloatRefCell},
+		{SimFFM: fp.DRDF1, ComFFM: fp.DRDF0, OpenIDs: []int{4}, Completed: "<1v [w1BL] r1v/0/1>", Float: defect.FloatBitLine},
+		{SimFFM: fp.IRF0, ComFFM: fp.IRF1, OpenIDs: []int{8}, Completed: "<0v [w1BL] r0v/0/1>", Float: defect.FloatOutBuffer},
+		{SimFFM: fp.IRF0, ComFFM: fp.IRF1, OpenIDs: []int{9}, Float: defect.FloatWordLine},
+		{SimFFM: fp.IRF1, ComFFM: fp.IRF0, OpenIDs: []int{5}, Completed: "<1v [w0BL] r1v/1/0>", Float: defect.FloatBitLine},
+		{SimFFM: fp.WDF1, ComFFM: fp.WDF0, OpenIDs: []int{4}, Completed: "<1v [w0BL] w1v/0/->", Float: defect.FloatBitLine},
+		{SimFFM: fp.TFUp, ComFFM: fp.TFDown, OpenIDs: []int{1}, Float: defect.FloatMemoryCell},
+		{SimFFM: fp.TFDown, ComFFM: fp.TFUp, OpenIDs: []int{5}, Completed: "<1v [w1BL] w0v/1/->", Float: defect.FloatBitLine},
+		{SimFFM: fp.TFDown, ComFFM: fp.TFUp, OpenIDs: []int{9}, Float: defect.FloatWordLine},
+		{SimFFM: fp.SF0, ComFFM: fp.SF1, OpenIDs: []int{9}, Float: defect.FloatWordLine},
+	}
+}
+
+// RowMatch describes how one paper row compares with our inventory.
+type RowMatch struct {
+	Paper PaperRow
+	// Exact means an inventory row matched FFM, an open of the row, the
+	// mediating voltage, and the completed FP (or Not possible) exactly.
+	Exact bool
+	// FFMFound means the (FFM, some open) pair appears in the inventory
+	// even if completion or mediation differs.
+	FFMFound bool
+	// Note explains partial matches.
+	Note string
+}
+
+// CompareWithPaper matches our inventory against the paper's Table 1
+// and returns one RowMatch per paper row plus summary counts.
+func CompareWithPaper(rows []Row) (matches []RowMatch, exact, ffmOnly int) {
+	for _, pr := range PaperTable1() {
+		m := RowMatch{Paper: pr}
+		for _, r := range rows {
+			if r.SimFFM != pr.SimFFM {
+				continue
+			}
+			inOpenSet := false
+			for _, id := range pr.OpenIDs {
+				if r.Open.ID == id {
+					inOpenSet = true
+				}
+			}
+			if !inOpenSet {
+				continue
+			}
+			m.FFMFound = true
+			if r.Float != pr.Float {
+				continue
+			}
+			if pr.Possible() == r.Possible &&
+				(!pr.Possible() || r.Completed.String() == pr.Completed) {
+				m.Exact = true
+				break
+			}
+		}
+		switch {
+		case m.Exact:
+			exact++
+		case m.FFMFound:
+			ffmOnly++
+			m.Note = "FFM observed for the row's open; completion or mediation differs"
+		default:
+			m.Note = "not observed (design-dependent; see EXPERIMENTS.md)"
+		}
+		matches = append(matches, m)
+	}
+	return matches, exact, ffmOnly
+}
+
+// SummarizeComparison renders the comparison for reports.
+func SummarizeComparison(matches []RowMatch) string {
+	out := ""
+	for _, m := range matches {
+		status := "✗"
+		if m.Exact {
+			status = "✓"
+		} else if m.FFMFound {
+			status = "≈"
+		}
+		opens := ""
+		for i, id := range m.Paper.OpenIDs {
+			if i > 0 {
+				opens += ","
+			}
+			opens += fmt.Sprintf("%d", id)
+		}
+		completed := m.Paper.Completed
+		if completed == "" {
+			completed = "Not possible"
+		}
+		out += fmt.Sprintf("%s %-6s Open %-6s %-22s %s\n",
+			status, m.Paper.SimFFM, opens, completed, m.Note)
+	}
+	return out
+}

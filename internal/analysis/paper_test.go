@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+func TestPaperTable1Encoding(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 15 {
+		t.Fatalf("paper table has %d rows, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.ComFFM != r.SimFFM.Complement() {
+			t.Errorf("row %s: Com. FFM %s is not the complement", r.SimFFM, r.ComFFM)
+		}
+		if r.Possible() {
+			p := fp.MustParse(r.Completed)
+			if got := p.Classify(); got != r.SimFFM {
+				t.Errorf("row %s: completed FP %s classifies as %s", r.SimFFM, r.Completed, got)
+			}
+		} else if r.Float != defect.FloatWordLine && r.Float != defect.FloatMemoryCell {
+			t.Errorf("row %s: Not possible with unexpected mediation %s", r.SimFFM, r.Float)
+		}
+		if len(r.OpenIDs) == 0 {
+			t.Errorf("row %s has no opens", r.SimFFM)
+		}
+	}
+}
+
+func TestCompareWithPaperEmptyInventory(t *testing.T) {
+	matches, exact, ffmOnly := CompareWithPaper(nil)
+	if exact != 0 || ffmOnly != 0 || len(matches) != 15 {
+		t.Errorf("empty inventory: %d exact, %d ffm-only, %d matches", exact, ffmOnly, len(matches))
+	}
+	s := SummarizeComparison(matches)
+	if !strings.Contains(s, "✗") || !strings.Contains(s, "Not possible") {
+		t.Errorf("summary missing expected markers:\n%s", s)
+	}
+}
+
+func TestCompareWithPaperExactRow(t *testing.T) {
+	o, _ := defect.ByID(1)
+	rows := []Row{{
+		SimFFM: fp.RDF0, ComFFM: fp.RDF1, Open: o,
+		Float: defect.FloatMemoryCell, Possible: true,
+		Completed: fp.MustParse("<[w1 w1 w0] r0/1/1>"),
+	}}
+	matches, exact, _ := CompareWithPaper(rows)
+	if exact != 1 {
+		t.Fatalf("exact = %d, want 1", exact)
+	}
+	if !matches[0].Exact {
+		t.Error("the Open 1 RDF0 row must match exactly")
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// Point is one simulated point of an (R_def, U) plane.
+type Point struct {
+	// RDef is the injected open resistance in ohms.
+	RDef float64
+	// U is the initialized floating voltage in volts.
+	U float64
+	// Faulty reports whether a deviation was observed.
+	Faulty bool
+	// FP is the observed fault primitive when Faulty.
+	FP fp.FP
+	// FFM is the classification of FP (FFMUnknown for unnamed shapes).
+	FFM fp.FFM
+}
+
+// Plane is the result of sweeping one SOS over the (R_def, U) grid for a
+// given open and floating-voltage group — the data behind Figures 3
+// and 4.
+type Plane struct {
+	// Open is the analyzed defect.
+	Open defect.Open
+	// Float is the initialized floating-voltage group.
+	Float defect.FloatGroup
+	// SOS is the applied sensitizing sequence.
+	SOS fp.SOS
+	// RDefs and Us are the grid axes (RDefs ascending, Us ascending).
+	RDefs, Us []float64
+	// Points is indexed [iRDef][iU].
+	Points [][]Point
+}
+
+// SweepConfig parameterizes a plane sweep.
+type SweepConfig struct {
+	// Factory builds the device under analysis.
+	Factory Factory
+	// Open is the defect to inject.
+	Open defect.Open
+	// Float selects the floating-voltage group to initialize.
+	Float defect.FloatGroup
+	// SOS is the sequence under analysis.
+	SOS fp.SOS
+	// RDefs and Us are the grid axes.
+	RDefs, Us []float64
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// SweepPlane simulates every grid point, in parallel. Each point builds
+// its own defective memory, so points are fully independent.
+func SweepPlane(cfg SweepConfig) (*Plane, error) {
+	if len(cfg.RDefs) == 0 || len(cfg.Us) == 0 {
+		return nil, fmt.Errorf("analysis: empty sweep grid")
+	}
+	p := &Plane{
+		Open:  cfg.Open,
+		Float: cfg.Float,
+		SOS:   cfg.SOS,
+		RDefs: cfg.RDefs,
+		Us:    cfg.Us,
+	}
+	p.Points = make([][]Point, len(cfg.RDefs))
+	for i := range p.Points {
+		p.Points[i] = make([]Point, len(cfg.Us))
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ i, j int }
+	jobs := make(chan job)
+	errs := make(chan error, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				rdef, u := cfg.RDefs[jb.i], cfg.Us[jb.j]
+				out, err := RunSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err):
+					default:
+					}
+					return
+				}
+				pt := Point{RDef: rdef, U: u}
+				if obs, faulty := ClassifyOutcome(cfg.SOS, out); faulty {
+					pt.Faulty = true
+					pt.FP = obs
+					pt.FFM = obs.Classify()
+				}
+				p.Points[jb.i][jb.j] = pt
+			}
+		}()
+	}
+	for i := range cfg.RDefs {
+		for j := range cfg.Us {
+			jobs <- job{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return p, nil
+}
+
+// FFMs returns the set of named FFMs observed anywhere in the plane.
+func (p *Plane) FFMs() []fp.FFM {
+	seen := map[fp.FFM]bool{}
+	var out []fp.FFM
+	for _, row := range p.Points {
+		for _, pt := range row {
+			if pt.Faulty && pt.FFM != fp.FFMUnknown && !seen[pt.FFM] {
+				seen[pt.FFM] = true
+				out = append(out, pt.FFM)
+			}
+		}
+	}
+	return out
+}
+
+// FaultyFraction returns the fraction of grid points showing any fault.
+func (p *Plane) FaultyFraction() float64 {
+	total, faulty := 0, 0
+	for _, row := range p.Points {
+		for _, pt := range row {
+			total++
+			if pt.Faulty {
+				faulty++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(faulty) / float64(total)
+}
+
+// RowFFM reports, for the R_def row i, how many U points exhibit the
+// given FFM and how many U points the row has.
+func (p *Plane) RowFFM(i int, f fp.FFM) (count, total int) {
+	row := p.Points[i]
+	for _, pt := range row {
+		if pt.Faulty && pt.FFM == f {
+			count++
+		}
+	}
+	return count, len(row)
+}
+
+// MinRDefWithFFM returns the smallest R_def at which the FFM appears for
+// the given U index, or (0, false).
+func (p *Plane) MinRDefWithFFM(f fp.FFM, uIdx int) (float64, bool) {
+	for i := range p.RDefs {
+		pt := p.Points[i][uIdx]
+		if pt.Faulty && pt.FFM == f {
+			return p.RDefs[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,155 @@
+// Package analysis implements the paper's fault-analysis methodology:
+// defect injection, (R_def, U) plane sweeps with floating-voltage
+// initialization, FP-region classification (Figures 3 and 4), the
+// partial-fault identification rule of Section 3, the completing-
+// operation search, and the Table 1 inventory pipeline.
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// Memory is the device under analysis: a defective memory column whose
+// internal floating voltages can be forced, matching the paper's
+// simulation protocol. Cell 0 is the victim; cell 1 is a cell on the
+// victim's bit line.
+type Memory interface {
+	// Write performs a write operation of bit to the cell.
+	Write(cell, bit int) error
+	// Read performs a read operation and returns the output value.
+	Read(cell int) (int, error)
+	// Idle lets one operation-length period pass without an access (the
+	// memory still precharges); used to sensitize state faults.
+	Idle() error
+	// ForceVictim sets the victim's stored state directly, implementing
+	// the SOS initialization (the leading 0/1 of the notation is a
+	// state, not an operation).
+	ForceVictim(bit int)
+	// SetFloat overwrites the named floating nets with voltage u.
+	SetFloat(nets []string, u float64)
+	// VictimBit reads the victim's stored state non-invasively.
+	VictimBit() int
+}
+
+// Factory builds a Memory with the given open injected at resistance
+// rdef. Implementations exist for the electrical column (NewSpiceFactory)
+// and the fast analytical model (behav.NewFactory).
+type Factory func(open defect.Open, rdef float64) (Memory, error)
+
+// NewSpiceFactory returns a Factory backed by the transient-simulated
+// DRAM column.
+func NewSpiceFactory(tech dram.Technology) Factory {
+	return func(open defect.Open, rdef float64) (Memory, error) {
+		col := dram.NewColumn(tech)
+		col.SetSiteResistance(open.Site, rdef)
+		if err := col.PowerUp(); err != nil {
+			return nil, fmt.Errorf("analysis: power-up with %s at %.3g Ω: %w", open.Name(), rdef, err)
+		}
+		return &spiceMemory{col: col}, nil
+	}
+}
+
+// spiceMemory adapts dram.Column to the Memory interface.
+type spiceMemory struct {
+	col *dram.Column
+}
+
+func (m *spiceMemory) Write(cell, bit int) error  { return m.col.Write(cell, bit) }
+func (m *spiceMemory) Read(cell int) (int, error) { return m.col.Read(cell) }
+func (m *spiceMemory) Idle() error                { return m.col.Precharge() }
+
+func (m *spiceMemory) ForceVictim(bit int) {
+	v := 0.0
+	if bit == 1 {
+		v = m.col.Tech.VDD
+	}
+	m.col.SetNodeVoltages(v, dram.NetCell0Store)
+}
+
+func (m *spiceMemory) SetFloat(nets []string, u float64) {
+	m.col.SetNodeVoltages(u, nets...)
+}
+
+func (m *spiceMemory) VictimBit() int { return m.col.CellBit(0) }
+
+// Outcome is the observed behaviour of one SOS application.
+type Outcome struct {
+	// F is the victim state after the SOS.
+	F int
+	// R is the final victim read's output, if the SOS ends with one.
+	R fp.ReadResult
+}
+
+// RunSOS applies the SOS to a freshly built defective memory following
+// the paper's protocol: establish the initial state, overwrite the
+// floating nets with u, apply the operations, observe (F, R).
+func RunSOS(factory Factory, open defect.Open, rdef float64, floatNets []string, u float64, sos fp.SOS) (Outcome, error) {
+	mem, err := factory(open, rdef)
+	if err != nil {
+		return Outcome{}, err
+	}
+	switch sos.Init {
+	case fp.Init0:
+		mem.ForceVictim(0)
+	case fp.Init1:
+		mem.ForceVictim(1)
+	}
+	mem.SetFloat(floatNets, u)
+
+	lastVictimRead := fp.RNone
+	endsWithVictimRead := false
+	for i, op := range sos.Ops {
+		cell := 0
+		if op.Target == fp.TargetBitLine {
+			cell = 1
+		}
+		switch op.Kind {
+		case fp.OpWrite:
+			if err := mem.Write(cell, op.Data); err != nil {
+				return Outcome{}, fmt.Errorf("analysis: op %d (%s): %w", i, op, err)
+			}
+		case fp.OpRead:
+			got, err := mem.Read(cell)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("analysis: op %d (%s): %w", i, op, err)
+			}
+			if cell == 0 {
+				lastVictimRead = fp.ReadResultOf(got)
+				endsWithVictimRead = i == len(sos.Ops)-1
+			}
+		}
+	}
+	if len(sos.Ops) == 0 {
+		// A state-fault SOS: let an operation period pass.
+		if err := mem.Idle(); err != nil {
+			return Outcome{}, fmt.Errorf("analysis: idle: %w", err)
+		}
+	}
+	out := Outcome{F: mem.VictimBit()}
+	if endsWithVictimRead {
+		out.R = lastVictimRead
+	}
+	return out, nil
+}
+
+// ClassifyOutcome compares an observed outcome against the SOS's
+// fault-free expectation and returns the observed fault primitive, or
+// (zero, false) when the behaviour is fault-free.
+func ClassifyOutcome(sos fp.SOS, out Outcome) (fp.FP, bool) {
+	expF, known := sos.ExpectedFinalState()
+	if !known {
+		return fp.FP{}, false
+	}
+	expR := fp.RNone
+	if last, ok := sos.FinalOp(); ok && last.Kind == fp.OpRead && last.Target == fp.TargetVictim {
+		expR = fp.ReadResultOf(last.Data)
+	}
+	if out.F == expF && out.R == expR {
+		return fp.FP{}, false
+	}
+	return fp.FP{S: sos, F: out.F, R: out.R}, true
+}

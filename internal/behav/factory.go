@@ -1,0 +1,39 @@
+package behav
+
+import (
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+// memory adapts Model to analysis.Memory.
+type memory struct {
+	m *Model
+}
+
+func (a *memory) Write(cell, bit int) error  { return a.m.Write(cell, bit) }
+func (a *memory) Read(cell int) (int, error) { return a.m.Read(cell) }
+func (a *memory) Idle() error                { return a.m.Precharge() }
+
+func (a *memory) ForceVictim(bit int) {
+	v := 0.0
+	if bit == 1 {
+		v = a.m.P.Tech.VDD
+	}
+	a.m.SetNodeVoltages(v, dram.NetCell0Store)
+}
+
+func (a *memory) SetFloat(nets []string, u float64) {
+	a.m.SetNodeVoltages(u, nets...)
+}
+
+func (a *memory) VictimBit() int { return a.m.CellBit(0) }
+
+// NewFactory returns an analysis.Factory backed by the analytical model.
+func NewFactory(p Params) analysis.Factory {
+	return func(open defect.Open, rdef float64) (analysis.Memory, error) {
+		m := New(p)
+		m.SetSiteResistance(open.Site, rdef)
+		return &memory{m: m}, nil
+	}
+}

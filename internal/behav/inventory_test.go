@@ -1,0 +1,103 @@
+package behav
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// miniInventory runs the Table 1 pipeline on a single open with a small
+// grid.
+func miniInventory(t *testing.T, openID int) []analysis.Row {
+	t.Helper()
+	o, ok := defect.ByID(openID)
+	if !ok {
+		t.Fatalf("open %d missing", openID)
+	}
+	rows, err := analysis.BuildInventory(analysis.InventoryConfig{
+		Factory: NewFactory(DefaultParams()),
+		Opens:   []defect.Open{o},
+		RDefs:   numeric.Logspace(1e4, 1e8, 5),
+		Us:      numeric.Linspace(0, 4.6, 4),
+	})
+	if err != nil {
+		t.Fatalf("BuildInventory(open %d): %v", openID, err)
+	}
+	return rows
+}
+
+func TestInventoryOpen4FindsThePaperRow(t *testing.T) {
+	rows := miniInventory(t, 4)
+	var found bool
+	for _, r := range rows {
+		if r.SimFFM == fp.RDF1 && r.Possible &&
+			r.Completed.String() == "<1v [w0BL] r1v/0/0>" {
+			found = true
+			if r.ComFFM != fp.RDF0 {
+				t.Errorf("Com. FFM = %s, want RDF0", r.ComFFM)
+			}
+			if r.Float != defect.FloatBitLine {
+				t.Errorf("mediating voltage = %s, want Bit line", r.Float)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("inventory lacks the paper's RDF1 row; rows: %v", rowStrings(rows))
+	}
+}
+
+func TestInventoryOpen1FindsTripleWriteCompletion(t *testing.T) {
+	rows := miniInventory(t, 1)
+	var found bool
+	for _, r := range rows {
+		if r.SimFFM == fp.RDF0 && r.Possible &&
+			r.Completed.String() == "<[w1 w1 w0] r0/1/1>" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inventory lacks the paper's <[w1 w1 w0] r0/1/1> row; rows: %v", rowStrings(rows))
+	}
+}
+
+// TestInventorySatisfiesSection4Relations verifies the paper's Section 4
+// property on every completed row: the completed FP has at least as many
+// cell accesses and/or operations as its partial counterpart.
+func TestInventorySatisfiesSection4Relations(t *testing.T) {
+	for _, id := range []int{1, 4, 5} {
+		for _, r := range miniInventory(t, id) {
+			if !r.Possible {
+				continue
+			}
+			base := r.Completed.Base()
+			if !fp.CompletedSatisfiesRelations(base, r.Completed) {
+				t.Errorf("open %d: completed %s violates the #C/#O relations vs %s",
+					id, r.Completed, base)
+			}
+			if got := r.Completed.S.NumOps(); got <= base.S.NumOps()-1 {
+				t.Errorf("open %d: completed %s has fewer ops than its base", id, r.Completed)
+			}
+		}
+	}
+}
+
+// TestInventoryComplementConsistency: every row's Com. FFM must be the
+// data complement of its Sim. FFM (the [Al-Ars00] relation).
+func TestInventoryComplementConsistency(t *testing.T) {
+	for _, r := range miniInventory(t, 4) {
+		if r.ComFFM != r.SimFFM.Complement() {
+			t.Errorf("row %s: Com. FFM %s is not the complement", r.SimFFM, r.ComFFM)
+		}
+	}
+}
+
+func rowStrings(rows []analysis.Row) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r.SimFFM.String()+":"+r.CompletedString())
+	}
+	return out
+}

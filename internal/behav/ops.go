@@ -1,0 +1,226 @@
+package behav
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// phase describes which control paths are active during an interval,
+// mirroring the signals of dram/controller.go.
+type phase struct {
+	pre, dref      bool
+	wl0, wl1, dwlc bool
+	sen            bool
+	csl, ren, wen  bool
+	wdata          int
+}
+
+// run integrates the model over dur seconds with the given phase active,
+// using a Jacobi-implicit nodal update per step: every node moves to the
+// conductance-weighted average of its own state and its neighbours'
+// previous values,
+//
+//	v' = (C/dt·v + Σ g·v_neigh) / (C/dt + Σ g),
+//
+// which is unconditionally stable (a convex combination) and resolves
+// simultaneous competition — e.g. the write driver overpowering the
+// sense amplifier — by conductance ratio, like the electrical model.
+func (m *Model) run(dur float64, ph phase) {
+	steps := int(dur/m.P.DT + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	dt := dur / float64(steps)
+	for s := 0; s < steps; s++ {
+		m.step(dt, ph)
+	}
+}
+
+// pair accumulates a resistive connection between nodes a and b.
+func (m *Model) pair(a, b int, r float64) {
+	g := 1 / r
+	va, vb := m.v[a], m.v[b]
+	m.accG[a] += g
+	m.accGV[a] += g * vb
+	m.accG[b] += g
+	m.accGV[b] += g * va
+}
+
+// src accumulates a resistive connection from node a to a fixed source.
+func (m *Model) src(a int, vs, r float64) {
+	g := 1 / r
+	m.accG[a] += g
+	m.accGV[a] += g * vs
+}
+
+func (m *Model) step(dt float64, ph phase) {
+	t := m.P.Tech
+	rw := m.P.RWire
+	site := func(i int) float64 {
+		if r := m.sites[i]; r > rw {
+			return r
+		}
+		return rw
+	}
+	for i := range m.accG {
+		m.accG[i] = 0
+		m.accGV[i] = 0
+	}
+
+	// Word-line gate follows its driver through the Open 9 site.
+	wlTarget := 0.0
+	if ph.wl0 {
+		wlTarget = t.VPP
+	}
+	m.src(nWL0Gate, wlTarget, m.sites[sOpen9]+100)
+
+	// Bit-line chains (Open 4, 5, 6, 8 sites on BT).
+	m.pair(nBTPre, nBTCell, site(sOpen4))
+	m.pair(nBTCell, nBTRef, site(sOpen5))
+	m.pair(nBTRef, nBTSA, site(sOpen6))
+	m.pair(nBTSA, nBTIO, site(sOpen8))
+	m.pair(nBCPre, nBCCell, rw)
+	m.pair(nBCCell, nBCRef, rw)
+	m.pair(nBCRef, nBCSA, rw)
+	m.pair(nBCSA, nBCIO, rw)
+
+	if ph.pre {
+		m.src(nBTPre, t.VBLEQ, m.P.RPre+m.sites[sOpen3])
+		m.src(nBCPre, t.VBLEQ, m.P.RPre)
+	}
+	if ph.dref {
+		m.src(nRefC, t.VRefCell, m.P.RAccess+m.sites[sOpen2])
+		m.src(nRefT, t.VRefCell, m.P.RAccess)
+	}
+
+	// Victim access device: conductance scales with the (possibly
+	// floating) gate voltage; in series with the Open 1 site.
+	if frac := m.wlFraction(); frac > 1e-6 {
+		m.pair(nBTCell, nCell0, m.P.RAccess/frac+m.sites[sOpen1])
+	}
+	if ph.wl1 {
+		m.pair(nBTCell, nCell1, m.P.RAccess)
+	}
+	if ph.dwlc {
+		m.pair(nBCRef, nRefC, m.P.RAccess+m.sites[sOpen2])
+	}
+
+	if ph.sen {
+		// Rule-based regenerative sense amplifier with the Open 7 site
+		// in the pull-down (NMOS) path. The input-referred offset makes
+		// zero differential resolve to 1.
+		delta := m.v[nBTSA] - m.v[nBCSA] + m.P.VOffset
+		rDown := m.P.RSA + m.sites[sOpen7]
+		if delta >= 0 {
+			m.src(nBTSA, t.VDD, m.P.RSA)
+			m.src(nBCSA, 0, rDown)
+		} else {
+			m.src(nBCSA, t.VDD, m.P.RSA)
+			m.src(nBTSA, 0, rDown)
+		}
+	}
+
+	if ph.csl {
+		m.pair(nBTIO, nIO, m.P.RCSL)
+		m.pair(nBCIO, nIOB, m.P.RCSL)
+	}
+	if ph.wen {
+		hi, lo := 0.0, t.VDD
+		if ph.wdata == 1 {
+			hi, lo = t.VDD, 0
+		}
+		m.src(nIO, hi, t.RWriteDriver)
+		m.src(nIOB, lo, t.RWriteDriver)
+	}
+	if ph.ren {
+		m.pair(nIO, nOutBuf, t.ROutSwitch)
+	}
+
+	// Short/bridge sites (negligible conductance when healthy).
+	m.src(nCell0, 0, m.sites[sShortCellGnd])
+	m.src(nBTCell, t.VDD, m.sites[sShortBLVdd])
+	m.pair(nBTCell, nBCCell, m.sites[sBridgeBLBL])
+	m.pair(nCell0, nCell1, m.sites[sBridgeCells])
+
+	// Jacobi-implicit nodal update.
+	for n := 0; n < numNodes; n++ {
+		gc := m.cap[n] / dt
+		m.v[n] = (gc*m.v[n] + m.accGV[n]) / (gc + m.accG[n])
+	}
+	m.time += dt
+}
+
+// wlFraction maps the victim's gate voltage to an access-conductance
+// fraction in [0,1].
+func (m *Model) wlFraction() float64 {
+	t := m.P.Tech
+	von := m.P.WLOnFraction * t.VPP
+	return numeric.Clamp((m.v[nWL0Gate]-1.0)/(von-1.0), 0, 1)
+}
+
+// Precharge runs one precharge/equalize phase.
+func (m *Model) Precharge() error {
+	m.run(m.P.Tech.TPre, phase{pre: true, dref: true})
+	return nil
+}
+
+// access mirrors dram.Column: release precharge, raise word lines, share,
+// then sense (which also restores).
+func (m *Model) access(cell int) phase {
+	t := m.P.Tech
+	ph := phase{dwlc: true}
+	if cell == 0 {
+		ph.wl0 = true
+	} else {
+		ph.wl1 = true
+	}
+	m.run(t.TSettle, phase{})
+	m.run(t.TShare, ph)
+	ph.sen = true
+	m.run(t.TSense, ph)
+	return ph
+}
+
+// closeOp drops the word lines, then the SA.
+func (m *Model) closeOp(ph phase) {
+	t := m.P.Tech
+	ph.wl0, ph.wl1, ph.dwlc = false, false, false
+	m.run(t.TClose, ph)
+	ph.sen = false
+	m.run(t.TClose, ph)
+}
+
+// Write performs a w0/w1 to the cell (read-modify-write, like the
+// electrical controller).
+func (m *Model) Write(cell, bit int) error {
+	if bit != 0 && bit != 1 {
+		panic(fmt.Sprintf("behav: write data %d out of range", bit))
+	}
+	t := m.P.Tech
+	if err := m.Precharge(); err != nil {
+		return err
+	}
+	ph := m.access(cell)
+	ph.csl, ph.wen, ph.wdata = true, true, bit
+	m.run(t.TWrite, ph)
+	ph.csl, ph.wen = false, false
+	m.run(t.TSettle, ph)
+	m.closeOp(ph)
+	return nil
+}
+
+// Read performs a read and returns the output-buffer value.
+func (m *Model) Read(cell int) (int, error) {
+	t := m.P.Tech
+	if err := m.Precharge(); err != nil {
+		return 0, err
+	}
+	ph := m.access(cell)
+	ph.csl, ph.ren = true, true
+	m.run(t.TIO, ph)
+	ph.csl, ph.ren = false, false
+	m.run(t.TSettle, ph)
+	m.closeOp(ph)
+	return m.OutputBit(), nil
+}

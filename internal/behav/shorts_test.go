@@ -1,0 +1,61 @@
+package behav
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// TestShortsAndBridgesProduceNoPartialFaults reproduces the paper's
+// Section 2 claim: shorts and bridges do not restrict current flow, so
+// the faulty behaviour they cause does not depend on initialized
+// floating voltages — at every defect strength where a fault appears, it
+// appears for every U.
+func TestShortsAndBridgesProduceNoPartialFaults(t *testing.T) {
+	factory := NewFactory(DefaultParams())
+	// Short/bridge severity axis: LOW resistance = severe.
+	rdefs := numeric.Logspace(1e2, 1e6, 5)
+	us := []float64{0, 1.65, 3.3}
+	anyFault := false
+	for _, sb := range defect.ShortsAndBridges() {
+		o := sb.AsOpenDescriptor()
+		for _, sos := range analysis.StaticSOSes() {
+			plane, err := analysis.SweepPlane(analysis.SweepConfig{
+				Factory: factory, Open: o, Float: sb.Probe, SOS: sos,
+				RDefs: rdefs, Us: us,
+			})
+			if err != nil {
+				t.Fatalf("%s / %q: %v", sb.Name(), sos, err)
+			}
+			if plane.FaultyFraction() > 0 {
+				anyFault = true
+			}
+			if findings := analysis.IdentifyPartialFaults(plane); len(findings) != 0 {
+				t.Errorf("%s / %q: partial findings %v — shorts/bridges must not create partial faults",
+					sb.Name(), sos, findings)
+			}
+		}
+	}
+	if !anyFault {
+		t.Error("hard shorts must cause some (non-partial) faulty behaviour")
+	}
+}
+
+// TestHardCellShortIsStuckAt checks the cell-to-ground short behaves as
+// an ordinary stuck-at-0: every 1-state SOS fails identically for all U.
+func TestHardCellShortIsStuckAt(t *testing.T) {
+	factory := NewFactory(DefaultParams())
+	sb := defect.ShortsAndBridges()[0] // cell to ground
+	o := sb.AsOpenDescriptor()
+	for _, u := range []float64{0, 3.3} {
+		out, err := analysis.RunSOS(factory, o, 200, sb.Probe.Nets, u, analysis.StaticSOSes()[1] /* init 1, no op */)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.F != 0 {
+			t.Errorf("U=%g: cell shorted to ground holds %d, want 0", u, out.F)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package circuit provides the netlist representation and the
+// modified-nodal-analysis (MNA) stamping contract used by the transient
+// simulator in internal/spice.
+//
+// A Circuit is a collection of named nets and Elements. The simulator
+// assembles, for every Newton iteration, a linear system A·x = b where
+// x holds the node voltages followed by the branch currents of the
+// voltage-source-like elements. Each Element contributes to A and b
+// through its Stamp method; nonlinear elements linearize around the
+// current iterate available in the StampContext.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// Ground is the reserved name of the reference net, always at 0 V.
+const Ground = "0"
+
+// Element is a circuit component that can stamp itself into an MNA system.
+type Element interface {
+	// Name returns the unique designator of the element (e.g. "R1").
+	Name() string
+	// Stamp adds the element's linearized contribution to the system.
+	Stamp(ctx *StampContext)
+}
+
+// BranchElement is implemented by elements that introduce an extra MNA
+// unknown (a branch current), such as voltage sources. The circuit
+// allocates one branch index per such element.
+type BranchElement interface {
+	Element
+	// SetBranch tells the element its branch-current index in x.
+	SetBranch(idx int)
+}
+
+// Committer is implemented by elements that carry integration state
+// beyond the node voltages (e.g. capacitor branch currents under
+// trapezoidal integration). Commit is called once per accepted timestep
+// with the converged solution in ctx.X.
+type Committer interface {
+	Element
+	// Commit updates the element's internal state after a step.
+	Commit(ctx *StampContext)
+}
+
+// StampContext carries everything an element needs to stamp itself.
+type StampContext struct {
+	A *numeric.Matrix // MNA matrix to accumulate into
+	B []float64       // right-hand side to accumulate into
+
+	X     []float64 // current Newton iterate (voltages + branch currents)
+	XPrev []float64 // converged solution of the previous timestep
+
+	Dt   float64 // timestep in seconds; <= 0 means DC operating point
+	Time float64 // absolute simulation time at the end of this step
+
+	// Trapezoidal selects trapezoidal instead of backward-Euler
+	// companion models for reactive elements.
+	Trapezoidal bool
+}
+
+// V returns the voltage of node n in the current Newton iterate.
+// Node index 0 is ground.
+func (ctx *StampContext) V(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return ctx.X[n-1]
+}
+
+// VPrev returns the voltage of node n at the previous timestep.
+func (ctx *StampContext) VPrev(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return ctx.XPrev[n-1]
+}
+
+// StampConductance adds a conductance g between nodes a and b
+// (either may be ground).
+func (ctx *StampContext) StampConductance(a, b int, g float64) {
+	if a != 0 {
+		ctx.A.Add(a-1, a-1, g)
+	}
+	if b != 0 {
+		ctx.A.Add(b-1, b-1, g)
+	}
+	if a != 0 && b != 0 {
+		ctx.A.Add(a-1, b-1, -g)
+		ctx.A.Add(b-1, a-1, -g)
+	}
+}
+
+// StampCurrent adds an independent current i flowing from node a to
+// node b (i.e. out of a, into b).
+func (ctx *StampContext) StampCurrent(a, b int, i float64) {
+	if a != 0 {
+		ctx.B[a-1] -= i
+	}
+	if b != 0 {
+		ctx.B[b-1] += i
+	}
+}
+
+// StampTransconductance adds a current at (out+, out−) controlled by the
+// voltage between (in+, in−) with gain gm: a VCCS stamp used by the
+// linearized MOSFET model.
+func (ctx *StampContext) StampTransconductance(outP, outN, inP, inN int, gm float64) {
+	add := func(r, c int, v float64) {
+		if r != 0 && c != 0 {
+			ctx.A.Add(r-1, c-1, v)
+		}
+	}
+	add(outP, inP, gm)
+	add(outP, inN, -gm)
+	add(outN, inP, -gm)
+	add(outN, inN, gm)
+}
+
+// Circuit is a mutable netlist.
+type Circuit struct {
+	names    map[string]int // net name → node index (Ground → 0)
+	nodeName []string       // node index → name
+	elements []Element
+	elemByID map[string]Element
+	branches int
+}
+
+// New returns an empty circuit containing only the ground net.
+func New() *Circuit {
+	return &Circuit{
+		names:    map[string]int{Ground: 0},
+		nodeName: []string{Ground},
+		elemByID: map[string]Element{},
+	}
+}
+
+// Node returns the index for the named net, creating it if necessary.
+// The name "0" is ground.
+func (c *Circuit) Node(name string) int {
+	if idx, ok := c.names[name]; ok {
+		return idx
+	}
+	idx := len(c.nodeName)
+	c.names[name] = idx
+	c.nodeName = append(c.nodeName, name)
+	return idx
+}
+
+// NodeIndex returns the index of an existing net and whether it exists.
+func (c *Circuit) NodeIndex(name string) (int, bool) {
+	idx, ok := c.names[name]
+	return idx, ok
+}
+
+// NodeName returns the net name for a node index.
+func (c *Circuit) NodeName(idx int) string {
+	if idx < 0 || idx >= len(c.nodeName) {
+		return fmt.Sprintf("node#%d", idx)
+	}
+	return c.nodeName[idx]
+}
+
+// NumNodes returns the number of non-ground nodes.
+func (c *Circuit) NumNodes() int { return len(c.nodeName) - 1 }
+
+// NumBranches returns the number of branch-current unknowns.
+func (c *Circuit) NumBranches() int { return c.branches }
+
+// Size returns the dimension of the MNA system.
+func (c *Circuit) Size() int { return c.NumNodes() + c.branches }
+
+// Add registers an element. Branch elements are assigned their branch
+// index here. Add panics on a duplicate element name, which always
+// indicates a netlist construction bug.
+func (c *Circuit) Add(e Element) {
+	if _, dup := c.elemByID[e.Name()]; dup {
+		panic(fmt.Sprintf("circuit: duplicate element name %q", e.Name()))
+	}
+	if be, ok := e.(BranchElement); ok {
+		be.SetBranch(c.NumNodes() + c.branches) // provisional; fixed up in Freeze
+		c.branches++
+	}
+	c.elements = append(c.elements, e)
+	c.elemByID[e.Name()] = e
+}
+
+// Element returns a registered element by name, or nil.
+func (c *Circuit) Element(name string) Element { return c.elemByID[name] }
+
+// Elements returns the registered elements in insertion order.
+// The returned slice must not be modified.
+func (c *Circuit) Elements() []Element { return c.elements }
+
+// Freeze finalizes node numbering and reassigns branch indices so they
+// follow all node unknowns. It must be called once all nets and elements
+// are added and before simulation. Adding nets after Freeze panics at
+// stamp time via index checks.
+func (c *Circuit) Freeze() {
+	branch := c.NumNodes()
+	for _, e := range c.elements {
+		if be, ok := e.(BranchElement); ok {
+			be.SetBranch(branch)
+			branch++
+		}
+	}
+}
+
+// NodeNames returns all non-ground net names in sorted order.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, 0, c.NumNodes())
+	for name, idx := range c.names {
+		if idx != 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// stub is a minimal element for structural tests.
+type stub struct{ name string }
+
+func (s *stub) Name() string        { return s.name }
+func (s *stub) Stamp(*StampContext) {}
+
+// branchStub is a minimal branch element.
+type branchStub struct {
+	stub
+	branch int
+}
+
+func (b *branchStub) SetBranch(idx int) { b.branch = idx }
+
+func TestNodeInterning(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	if a2 := c.Node("a"); a2 != a {
+		t.Error("Node must be idempotent")
+	}
+	if g := c.Node(Ground); g != 0 {
+		t.Errorf("ground index = %d, want 0", g)
+	}
+	if c.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", c.NumNodes())
+	}
+	if name := c.NodeName(a); name != "a" {
+		t.Errorf("NodeName = %q, want a", name)
+	}
+	if name := c.NodeName(99); name == "" {
+		t.Error("out-of-range NodeName must not be empty")
+	}
+	if _, ok := c.NodeIndex("missing"); ok {
+		t.Error("NodeIndex must report missing nets")
+	}
+}
+
+func TestDuplicateElementPanics(t *testing.T) {
+	c := New()
+	c.Add(&stub{name: "R1"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate element name should panic")
+		}
+	}()
+	c.Add(&stub{name: "R1"})
+}
+
+func TestBranchIndexAssignment(t *testing.T) {
+	c := New()
+	b1 := &branchStub{stub: stub{name: "V1"}}
+	c.Add(b1) // added before any nodes exist
+	c.Node("x")
+	c.Node("y")
+	b2 := &branchStub{stub: stub{name: "V2"}}
+	c.Add(b2)
+	c.Freeze()
+	// After Freeze, branches follow the node unknowns: x→1, y→2 are
+	// nodes (X indices 0,1), so branch X indices are 2 and 3.
+	if b1.branch != 2 || b2.branch != 3 {
+		t.Errorf("branches = %d,%d, want 2,3", b1.branch, b2.branch)
+	}
+	if c.Size() != 4 {
+		t.Errorf("Size = %d, want 4", c.Size())
+	}
+	if c.NumBranches() != 2 {
+		t.Errorf("NumBranches = %d, want 2", c.NumBranches())
+	}
+}
+
+func TestElementLookup(t *testing.T) {
+	c := New()
+	e := &stub{name: "M1"}
+	c.Add(e)
+	if got := c.Element("M1"); got != e {
+		t.Error("Element lookup failed")
+	}
+	if got := c.Element("nope"); got != nil {
+		t.Error("missing element must be nil")
+	}
+	if len(c.Elements()) != 1 {
+		t.Error("Elements must list registered elements")
+	}
+}
+
+func TestNodeNamesSorted(t *testing.T) {
+	c := New()
+	c.Node("zeta")
+	c.Node("alpha")
+	names := c.NodeNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("NodeNames = %v, want [alpha zeta]", names)
+	}
+}
+
+func TestStampHelpers(t *testing.T) {
+	a := numeric.NewMatrix(3, 3)
+	b := make([]float64, 3)
+	ctx := &StampContext{A: a, B: b, X: []float64{1, 2, 3}, XPrev: []float64{0, 0, 0}}
+
+	// Voltage accessors.
+	if ctx.V(0) != 0 {
+		t.Error("ground voltage must be 0")
+	}
+	if ctx.V(2) != 2 {
+		t.Errorf("V(2) = %g, want 2", ctx.V(2))
+	}
+	if ctx.VPrev(1) != 0 {
+		t.Errorf("VPrev(1) = %g, want 0", ctx.VPrev(1))
+	}
+
+	// Conductance stamp between nodes 1 and 2.
+	ctx.StampConductance(1, 2, 0.5)
+	if a.At(0, 0) != 0.5 || a.At(1, 1) != 0.5 || a.At(0, 1) != -0.5 || a.At(1, 0) != -0.5 {
+		t.Error("conductance stamp pattern wrong")
+	}
+	// Grounded conductance only touches the diagonal.
+	ctx.StampConductance(3, 0, 0.25)
+	if a.At(2, 2) != 0.25 {
+		t.Error("grounded conductance stamp wrong")
+	}
+
+	// Current stamp: i from node 1 to node 2.
+	ctx.StampCurrent(1, 2, 1e-3)
+	if b[0] != -1e-3 || b[1] != 1e-3 {
+		t.Errorf("current stamp b = %v", b[:2])
+	}
+	// Current into ground only touches one row.
+	ctx.StampCurrent(3, 0, 2e-3)
+	if b[2] != -2e-3 {
+		t.Errorf("grounded current stamp b[2] = %g", b[2])
+	}
+
+	// Transconductance stamp.
+	a.Zero()
+	ctx.StampTransconductance(1, 2, 3, 0, 1e-3)
+	if a.At(0, 2) != 1e-3 || a.At(1, 2) != -1e-3 {
+		t.Error("VCCS stamp pattern wrong")
+	}
+}

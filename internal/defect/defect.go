@@ -1,0 +1,203 @@
+// Package defect describes the memory defects the paper analyzes — the
+// nine resistive opens of Figure 2 — plus the shorts and bridges of the
+// standard defect taxonomy, and maps each open to its netlist injection
+// site and the floating-voltage groups its fault analysis must
+// initialize (the paper's Section 2 rules).
+package defect
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+// Class is the defect class of the standard taxonomy. The paper's
+// analysis is limited to opens: shorts and bridges do not restrict
+// current flow and therefore do not create floating voltages or partial
+// faults (Section 2).
+type Class int
+
+// Defect classes.
+const (
+	ClassOpen Class = iota
+	ClassShort
+	ClassBridge
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOpen:
+		return "open"
+	case ClassShort:
+		return "short"
+	case ClassBridge:
+		return "bridge"
+	}
+	return "unknown"
+}
+
+// FloatVar identifies which floating voltage a fault analysis sweeps.
+// These are the "Initialized volt." entries of Table 1.
+type FloatVar string
+
+// The floating-voltage variables of the paper.
+const (
+	FloatMemoryCell FloatVar = "Memory cell"
+	FloatBitLine    FloatVar = "Bit line"
+	FloatRefCell    FloatVar = "Reference cell"
+	FloatWordLine   FloatVar = "Word line"
+	FloatOutBuffer  FloatVar = "Output buffer"
+)
+
+// FloatGroup is a named set of nets initialized together to the swept
+// voltage U.
+type FloatGroup struct {
+	// Var labels the group with the paper's floating-voltage name.
+	Var FloatVar
+	// Nets are the dram column nets the analysis overwrites.
+	Nets []string
+}
+
+// Open is one of the paper's nine open-defect locations.
+type Open struct {
+	// ID is the paper's open number, 1–9.
+	ID int
+	// Site is the dram defect-site resistor this open injects into.
+	Site string
+	// Description repeats the paper's Section 2 characterization.
+	Description string
+	// Floats are the floating-voltage groups the analysis must sweep for
+	// this open, primary group first.
+	Floats []FloatGroup
+	// Simulated mirrors the paper's Section 5: Open 2 was described but
+	// not electrically simulated there.
+	Simulated bool
+}
+
+// Name returns the conventional name, e.g. "Open 4".
+func (o Open) Name() string { return fmt.Sprintf("Open %d", o.ID) }
+
+// Float returns the group for a floating variable, if the open has one.
+func (o Open) Float(v FloatVar) (FloatGroup, bool) {
+	for _, g := range o.Floats {
+		if g.Var == v {
+			return g, true
+		}
+	}
+	return FloatGroup{}, false
+}
+
+// btDownstream lists the BT nets at and beyond each segment.
+var (
+	btAll  = []string{dram.NetBTPre, dram.NetBTCell, dram.NetBTRef, dram.NetBTSA, dram.NetBTIO}
+	btCell = []string{dram.NetBTCell, dram.NetBTRef, dram.NetBTSA, dram.NetBTIO}
+	btRef  = []string{dram.NetBTRef, dram.NetBTSA, dram.NetBTIO}
+	btSA   = []string{dram.NetBTSA, dram.NetBTIO}
+	btIO   = []string{dram.NetBTIO}
+)
+
+// Opens returns the paper's nine opens in order. The float groups encode
+// Section 2's per-open analysis rules.
+func Opens() []Open {
+	return []Open{
+		{
+			ID: 1, Site: dram.SiteOpen1Cell, Simulated: true,
+			Description: "in the memory cell; floating stored voltage prevents setting a strong 1 or 0",
+			Floats: []FloatGroup{
+				{Var: FloatMemoryCell, Nets: []string{dram.NetCell0Store}},
+			},
+		},
+		{
+			ID: 2, Site: dram.SiteOpen2RefCell, Simulated: false,
+			Description: "in the reference cell; improper setting of the reference voltage",
+			Floats: []FloatGroup{
+				{Var: FloatRefCell, Nets: []string{dram.NetRefStore}},
+			},
+		},
+		{
+			ID: 3, Site: dram.SiteOpen3Pre, Simulated: true,
+			Description: "in the precharge circuits; prevents precharging of BT, floating BL voltage",
+			Floats: []FloatGroup{
+				{Var: FloatBitLine, Nets: btAll},
+			},
+		},
+		{
+			ID: 4, Site: dram.SiteOpen4BLPre, Simulated: true,
+			Description: "on the bit line between precharge devices and cells (Figure 1); floating BL voltage",
+			Floats: []FloatGroup{
+				{Var: FloatBitLine, Nets: btCell},
+			},
+		},
+		{
+			ID: 5, Site: dram.SiteOpen5BLCell, Simulated: true,
+			Description: "on the bit line between cells and reference cells; floating BL and cell voltages",
+			Floats: []FloatGroup{
+				{Var: FloatBitLine, Nets: btRef},
+				{Var: FloatMemoryCell, Nets: []string{dram.NetCell0Store}},
+			},
+		},
+		{
+			ID: 6, Site: dram.SiteOpen6BLRef, Simulated: true,
+			Description: "on the bit line between reference cells and sense amplifier; floating BL, cell and reference voltages",
+			Floats: []FloatGroup{
+				{Var: FloatBitLine, Nets: btSA},
+				{Var: FloatMemoryCell, Nets: []string{dram.NetCell0Store}},
+			},
+		},
+		{
+			ID: 7, Site: dram.SiteOpen7SA, Simulated: true,
+			Description: "in the sense amplifier; improper sensing, floating reference and output-buffer state",
+			Floats: []FloatGroup{
+				{Var: FloatRefCell, Nets: []string{dram.NetRefStore}},
+				{Var: FloatOutBuffer, Nets: []string{dram.NetOutBuf, dram.NetIO}},
+			},
+		},
+		{
+			ID: 8, Site: dram.SiteOpen8BLIO, Simulated: true,
+			Description: "on the bit line between sense amplifier and column select; floating BL and output-buffer state",
+			Floats: []FloatGroup{
+				{Var: FloatOutBuffer, Nets: []string{dram.NetOutBuf, dram.NetIO}},
+				{Var: FloatBitLine, Nets: btIO},
+			},
+		},
+		{
+			ID: 9, Site: dram.SiteOpen9WL, Simulated: true,
+			Description: "on the word line between driver and access gate; floating WL and cell voltages",
+			Floats: []FloatGroup{
+				{Var: FloatWordLine, Nets: []string{dram.NetWL0Gate}},
+			},
+		},
+	}
+}
+
+// ByID returns the open with the given paper number.
+func ByID(id int) (Open, bool) {
+	for _, o := range Opens() {
+		if o.ID == id {
+			return o, true
+		}
+	}
+	return Open{}, false
+}
+
+// SimulatedOpens returns the opens the paper's Section 5 analysis (and
+// ours) sweeps electrically.
+func SimulatedOpens() []Open {
+	var out []Open
+	for _, o := range Opens() {
+		if o.Simulated {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Complementary describes the complementary-defect relation of
+// [Al-Ars00]: the same open on the complementary bit line (or with
+// complementary data), whose faulty behaviour is the data complement of
+// the simulated one. The analysis derives Com. FFM rows from it without a
+// second simulation.
+func Complementary(o Open) string {
+	return fmt.Sprintf("%s on the complementary bit line (behaviour = data complement)", o.Name())
+}

@@ -1,0 +1,120 @@
+package defect
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+func TestOpensCoverAllNineSites(t *testing.T) {
+	opens := Opens()
+	if len(opens) != 9 {
+		t.Fatalf("Opens() returned %d opens, want 9", len(opens))
+	}
+	col := dram.NewColumn(dram.Default())
+	sites := map[string]bool{}
+	for _, s := range col.Sites() {
+		sites[s] = true
+	}
+	seen := map[string]bool{}
+	for i, o := range opens {
+		if o.ID != i+1 {
+			t.Errorf("open %d has ID %d", i, o.ID)
+		}
+		if !sites[o.Site] {
+			t.Errorf("Open %d site %q does not exist in the column", o.ID, o.Site)
+		}
+		if seen[o.Site] {
+			t.Errorf("Open %d reuses site %q", o.ID, o.Site)
+		}
+		seen[o.Site] = true
+		if len(o.Floats) == 0 {
+			t.Errorf("Open %d has no floating-voltage groups", o.ID)
+		}
+	}
+}
+
+func TestFloatGroupNetsExist(t *testing.T) {
+	col := dram.NewColumn(dram.Default())
+	eng := col.Engine()
+	for _, o := range Opens() {
+		for _, g := range o.Floats {
+			if len(g.Nets) == 0 {
+				t.Errorf("Open %d group %s is empty", o.ID, g.Var)
+			}
+			for _, n := range g.Nets {
+				if _, ok := eng.Circuit().NodeIndex(n); !ok {
+					t.Errorf("Open %d group %s references missing net %q", o.ID, g.Var, n)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperFloatAssignments(t *testing.T) {
+	// Section 5's simulated floating-voltage list.
+	expect := map[int][]FloatVar{
+		1: {FloatMemoryCell},
+		2: {FloatRefCell},
+		3: {FloatBitLine},
+		4: {FloatBitLine},
+		5: {FloatBitLine, FloatMemoryCell},
+		6: {FloatBitLine, FloatMemoryCell},
+		7: {FloatRefCell, FloatOutBuffer},
+		8: {FloatOutBuffer, FloatBitLine},
+		9: {FloatWordLine},
+	}
+	for id, vars := range expect {
+		o, ok := ByID(id)
+		if !ok {
+			t.Fatalf("ByID(%d) missing", id)
+		}
+		for _, v := range vars {
+			if _, ok := o.Float(v); !ok {
+				t.Errorf("Open %d lacks float var %s", id, v)
+			}
+		}
+	}
+}
+
+func TestSimulatedOpensExcludesOpen2(t *testing.T) {
+	// The paper's Section 5: "Open 2 in reference cell: not simulated".
+	sim := SimulatedOpens()
+	if len(sim) != 8 {
+		t.Fatalf("SimulatedOpens() = %d opens, want 8", len(sim))
+	}
+	for _, o := range sim {
+		if o.ID == 2 {
+			t.Error("Open 2 must not be in the simulated set")
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID(10); ok {
+		t.Error("ByID(10) should not exist")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if ClassOpen.String() != "open" || ClassShort.String() != "short" || ClassBridge.String() != "bridge" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "unknown" {
+		t.Error("unknown class name wrong")
+	}
+}
+
+func TestComplementaryDescription(t *testing.T) {
+	o, _ := ByID(4)
+	if Complementary(o) == "" {
+		t.Error("complementary description empty")
+	}
+}
+
+func TestOpenName(t *testing.T) {
+	o, _ := ByID(7)
+	if o.Name() != "Open 7" {
+		t.Errorf("Name = %q", o.Name())
+	}
+}

@@ -1,0 +1,71 @@
+package defect
+
+import "github.com/memtest/partialfaults/internal/dram"
+
+// ShortOrBridge describes a short or bridge defect — the two defect
+// classes the paper's Section 2 excludes from partial-fault analysis:
+// "Shorts and bridges are not expected to result in partial faults since
+// they do not restrict current flow and do not result in floating
+// voltages." The analysis layer uses these to reproduce that negative
+// result (BenchmarkShortsBridgesNoPartialFaults).
+type ShortOrBridge struct {
+	// Class is ClassShort (to a supply) or ClassBridge (between signal
+	// lines).
+	Class Class
+	// Site is the dram defect-site resistor. Injection LOWERS the
+	// resistance (healthy = absent = ROff).
+	Site string
+	// Description characterizes the defect.
+	Description string
+	// Probe is the line-voltage group the analysis sweeps to demonstrate
+	// that the observed behaviour does not depend on an initialization.
+	// It is always a *line* (bit line) rather than a storage node: a
+	// storage node holds whatever it is set to by design, so sweeping it
+	// tests retention, not floating-line normalization.
+	Probe FloatGroup
+}
+
+// Name returns a display name.
+func (s ShortOrBridge) Name() string {
+	return s.Class.String() + " " + s.Site
+}
+
+// ShortsAndBridges returns the short/bridge catalog of the column model.
+func ShortsAndBridges() []ShortOrBridge {
+	blProbe := FloatGroup{Var: FloatBitLine, Nets: []string{dram.NetBTCell}}
+	return []ShortOrBridge{
+		{
+			Class: ClassShort, Site: dram.SiteShortCellGnd,
+			Description: "victim storage node shorted to ground",
+			Probe:       blProbe,
+		},
+		{
+			Class: ClassShort, Site: dram.SiteShortBLVdd,
+			Description: "bit line shorted to VDD",
+			Probe:       blProbe,
+		},
+		{
+			Class: ClassBridge, Site: dram.SiteBridgeBLBL,
+			Description: "bridge between the true and complementary bit lines",
+			Probe:       blProbe,
+		},
+		{
+			Class: ClassBridge, Site: dram.SiteBridgeCells,
+			Description: "bridge between the victim and the neighbouring cell",
+			Probe:       blProbe,
+		},
+	}
+}
+
+// AsOpenDescriptor adapts a short/bridge to the Open shape so the
+// analysis sweep machinery (which only needs Site + Floats) can run it.
+// The ID is 0, marking a non-Figure-2 defect.
+func (s ShortOrBridge) AsOpenDescriptor() Open {
+	return Open{
+		ID:          0,
+		Site:        s.Site,
+		Description: s.Description,
+		Floats:      []FloatGroup{s.Probe},
+		Simulated:   true,
+	}
+}

@@ -1,0 +1,37 @@
+package device
+
+import "github.com/memtest/partialfaults/internal/circuit"
+
+// ISource is an independent current source driving a Waveform current
+// from node p out through node n (conventional current flows p → n
+// through the external circuit, i.e. the source pushes current into n).
+type ISource struct {
+	name string
+	p, n int
+	wave Waveform
+}
+
+// NewISource creates a current source of wave.At(t) amps flowing from
+// node p to node n through the source (out of n into the circuit).
+func NewISource(name string, p, n int, wave Waveform) *ISource {
+	if wave == nil {
+		panic("device: ISource requires a waveform")
+	}
+	return &ISource{name: name, p: p, n: n, wave: wave}
+}
+
+// Name implements circuit.Element.
+func (s *ISource) Name() string { return s.name }
+
+// SetWaveform replaces the driving waveform.
+func (s *ISource) SetWaveform(w Waveform) {
+	if w == nil {
+		panic("device: ISource requires a waveform")
+	}
+	s.wave = w
+}
+
+// Stamp implements circuit.Element: a pure RHS contribution.
+func (s *ISource) Stamp(ctx *circuit.StampContext) {
+	ctx.StampCurrent(s.p, s.n, s.wave.At(ctx.Time))
+}

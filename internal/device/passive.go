@@ -1,0 +1,131 @@
+// Package device implements the circuit-element models used to build the
+// DRAM column netlists: passives (R, C), independent sources, a
+// voltage-controlled switch, and a level-1 (Shichman–Hodges) MOSFET.
+//
+// All models stamp companion/linearized equivalents into the MNA system
+// provided by internal/circuit; time integration uses the backward-Euler
+// companion form, which is unconditionally stable — the right choice for
+// the stiff RC networks that resistive-open defects create.
+package device
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+)
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	name string
+	a, b int
+	ohms float64
+}
+
+// NewResistor creates a resistor of the given resistance (Ω) between
+// nodes a and b. Resistance must be positive.
+func NewResistor(name string, a, b int, ohms float64) *Resistor {
+	if ohms <= 0 {
+		panic(fmt.Sprintf("device: resistor %s with non-positive resistance %g", name, ohms))
+	}
+	return &Resistor{name: name, a: a, b: b, ohms: ohms}
+}
+
+// Name implements circuit.Element.
+func (r *Resistor) Name() string { return r.name }
+
+// Resistance returns the resistance in ohms.
+func (r *Resistor) Resistance() float64 { return r.ohms }
+
+// SetResistance changes the resistance; used by defect injection to sweep
+// R_def without rebuilding the netlist.
+func (r *Resistor) SetResistance(ohms float64) {
+	if ohms <= 0 {
+		panic(fmt.Sprintf("device: resistor %s set to non-positive resistance %g", r.name, ohms))
+	}
+	r.ohms = ohms
+}
+
+// Stamp implements circuit.Element.
+func (r *Resistor) Stamp(ctx *circuit.StampContext) {
+	ctx.StampConductance(r.a, r.b, 1/r.ohms)
+}
+
+// Current returns the current flowing from node a to node b given a
+// solved voltage vector x (node voltages only, ground excluded).
+func (r *Resistor) Current(v func(int) float64) float64 {
+	return (v(r.a) - v(r.b)) / r.ohms
+}
+
+// Capacitor is a linear two-terminal capacitor. Under backward-Euler it
+// is stateless; under trapezoidal integration it tracks its branch
+// current between steps (falling back to backward Euler on the first
+// step after a state reset, the standard damped start). During DC
+// analysis it is treated as open (no stamp), so every capacitor node
+// needs a DC path to ground — the simulator's gmin provides one for
+// genuinely floating nodes such as isolated bit lines.
+type Capacitor struct {
+	name   string
+	a, b   int
+	farads float64
+
+	iPrev    float64
+	hasIPrev bool
+}
+
+// NewCapacitor creates a capacitor of the given capacitance (F) between
+// nodes a and b. Capacitance must be positive.
+func NewCapacitor(name string, a, b int, farads float64) *Capacitor {
+	if farads <= 0 {
+		panic(fmt.Sprintf("device: capacitor %s with non-positive capacitance %g", name, farads))
+	}
+	return &Capacitor{name: name, a: a, b: b, farads: farads}
+}
+
+// Name implements circuit.Element.
+func (c *Capacitor) Name() string { return c.name }
+
+// Capacitance returns the capacitance in farads.
+func (c *Capacitor) Capacitance() float64 { return c.farads }
+
+// Stamp implements circuit.Element using the backward-Euler companion
+// model (geq = C/dt in parallel with a current source geq·v(t−dt)) or,
+// when the context selects it and branch-current state exists, the
+// trapezoidal companion geq = 2C/dt with ieq = geq·v(t−dt) + i(t−dt).
+func (c *Capacitor) Stamp(ctx *circuit.StampContext) {
+	if ctx.Dt <= 0 {
+		return // open at DC
+	}
+	vPrev := ctx.VPrev(c.a) - ctx.VPrev(c.b)
+	if ctx.Trapezoidal && c.hasIPrev {
+		geq := 2 * c.farads / ctx.Dt
+		ctx.StampConductance(c.a, c.b, geq)
+		ctx.StampCurrent(c.b, c.a, geq*vPrev+c.iPrev)
+		return
+	}
+	geq := c.farads / ctx.Dt
+	ctx.StampConductance(c.a, c.b, geq)
+	// The companion current source injects geq·vPrev from b to a so that
+	// zero applied current keeps the capacitor voltage constant.
+	ctx.StampCurrent(c.b, c.a, geq*vPrev)
+}
+
+// Commit implements circuit.Committer: records the branch current of the
+// accepted step for the next trapezoidal companion.
+func (c *Capacitor) Commit(ctx *circuit.StampContext) {
+	if ctx.Dt <= 0 {
+		c.hasIPrev = false
+		return
+	}
+	vN := ctx.V(c.a) - ctx.V(c.b)
+	vPrev := ctx.VPrev(c.a) - ctx.VPrev(c.b)
+	if ctx.Trapezoidal && c.hasIPrev {
+		c.iPrev = 2*c.farads/ctx.Dt*(vN-vPrev) - c.iPrev
+	} else {
+		c.iPrev = c.farads / ctx.Dt * (vN - vPrev)
+	}
+	c.hasIPrev = true
+}
+
+// ResetState clears integration state (used after a forced node-voltage
+// change, which invalidates the stored branch current).
+func (c *Capacitor) ResetState() { c.hasIPrev = false; c.iPrev = 0 }

@@ -1,0 +1,76 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Waveform maps simulation time to a source value. Implementations must
+// be pure functions of time so that Newton iterations within a timestep
+// see a consistent value.
+type Waveform interface {
+	// At returns the source value at absolute time t (seconds).
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// PWL is a piecewise-linear waveform defined by (time, value) breakpoints.
+// Before the first breakpoint it holds the first value; after the last it
+// holds the last value.
+type PWL struct {
+	times  []float64
+	values []float64
+}
+
+// NewPWL builds a piecewise-linear waveform. Times must be strictly
+// increasing and at least one point must be given.
+func NewPWL(points ...[2]float64) *PWL {
+	if len(points) == 0 {
+		panic("device: PWL requires at least one point")
+	}
+	p := &PWL{}
+	for i, pt := range points {
+		if i > 0 && pt[0] <= p.times[i-1] {
+			panic(fmt.Sprintf("device: PWL times must be strictly increasing (point %d)", i))
+		}
+		p.times = append(p.times, pt[0])
+		p.values = append(p.values, pt[1])
+	}
+	return p
+}
+
+// At implements Waveform by linear interpolation.
+func (p *PWL) At(t float64) float64 {
+	n := len(p.times)
+	if t <= p.times[0] {
+		return p.values[0]
+	}
+	if t >= p.times[n-1] {
+		return p.values[n-1]
+	}
+	// First breakpoint strictly greater than t.
+	i := sort.SearchFloat64s(p.times, t)
+	if p.times[i] == t {
+		return p.values[i]
+	}
+	t0, t1 := p.times[i-1], p.times[i]
+	v0, v1 := p.values[i-1], p.values[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Append adds a breakpoint after the existing ones.
+func (p *PWL) Append(t, v float64) {
+	if n := len(p.times); n > 0 && t <= p.times[n-1] {
+		panic("device: PWL Append time must increase")
+	}
+	p.times = append(p.times, t)
+	p.values = append(p.values, v)
+}
+
+// Last returns the final breakpoint time.
+func (p *PWL) Last() float64 { return p.times[len(p.times)-1] }

@@ -1,0 +1,32 @@
+package dram
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/spice"
+	"github.com/memtest/partialfaults/internal/wave"
+)
+
+// Capture attaches a waveform recorder to the column: every transient
+// step appends one sample per requested net. It returns the recorder and
+// a release function that detaches it. Capturing replaces any previously
+// installed Observe hook.
+func (c *Column) Capture(nets ...string) (*wave.Recorder, func()) {
+	if len(nets) == 0 {
+		panic("dram: Capture requires at least one net")
+	}
+	for _, n := range nets {
+		if _, ok := c.ckt.NodeIndex(n); !ok {
+			panic(fmt.Sprintf("dram: unknown net %q", n))
+		}
+	}
+	rec := wave.NewRecorder(nets...)
+	vals := make([]float64, len(nets))
+	c.Observe = func(e *spice.Engine) {
+		for i, n := range nets {
+			vals[i] = e.Voltage(n)
+		}
+		rec.Sample(e.Time(), vals...)
+	}
+	return rec, func() { c.Observe = nil }
+}

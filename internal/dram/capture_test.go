@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCaptureReadWaveforms(t *testing.T) {
+	c := newTestColumn(t)
+	if err := c.Write(0, 1); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	rec, release := c.Capture(NetBTSA, NetBCSA, NetCell0Store)
+	defer release()
+	start := c.Engine().Time()
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	bt := rec.Trace(NetBTSA)
+	bc := rec.Trace(NetBCSA)
+	if bt.Len() == 0 {
+		t.Fatal("no samples recorded")
+	}
+	// During the read the sense amplifier must split the bit lines to
+	// the rails: BT high, BC low.
+	if bt.Max() < 3.0 {
+		t.Errorf("BT peak = %.2fV, want ≈VDD", bt.Max())
+	}
+	if bc.Min() > 0.4 {
+		t.Errorf("BC floor = %.2fV, want ≈0", bc.Min())
+	}
+	// Both start near the precharge level.
+	if v := bt.At(start + 1e-9); v < 1.3 || v > 2.0 {
+		t.Errorf("BT during precharge = %.2fV, want ≈1.65V", v)
+	}
+	// The regeneration crossing exists: BT rises through 2.5 V.
+	if _, ok := bt.CrossingTime(2.5, +1); !ok {
+		t.Error("BT never crosses 2.5V rising — sense amp did not regenerate")
+	}
+}
+
+func TestCaptureCSVExport(t *testing.T) {
+	c := newTestColumn(t)
+	rec, release := c.Capture(NetBTCell)
+	if err := c.Precharge(); err != nil {
+		t.Fatalf("Precharge: %v", err)
+	}
+	release()
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "time,"+NetBTCell) {
+		t.Errorf("CSV header wrong: %q", buf.String()[:30])
+	}
+	// Release must detach the observer: further ops add no samples.
+	n := rec.Trace(NetBTCell).Len()
+	if err := c.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace(NetBTCell).Len() != n {
+		t.Error("recorder still sampling after release")
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	c := NewColumn(Default())
+	for name, fn := range map[string]func(){
+		"no nets":     func() { c.Capture() },
+		"unknown net": func() { c.Capture("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

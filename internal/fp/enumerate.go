@@ -1,0 +1,109 @@
+package fp
+
+import "fmt"
+
+// CountSingleCellFPs returns the number of single-cell fault primitives
+// whose SOS performs exactly nOps operations:
+//
+//	#O = 0 → 2           (the two state faults)
+//	#O = n → 10·3^(n−1)  (n ≥ 1)
+//
+// Derivation: an SOS is an initial value (2 choices) followed by n
+// operations drawn from {w0, w1, r} (reads are deterministic, so one read
+// token per position). A write-final SOS admits 1 faulty outcome (the
+// flipped final state), a read-final SOS admits 3 (the faulty (F,R)
+// combinations). Hence 2·3^(n−1)·(2·1 + 1·3) = 10·3^(n−1).
+//
+// Note: the paper's scan prints "372" for the cumulative count at
+// #O ≤ 4; the exact enumeration (verified by EnumerateSingleCellFPs) is
+// 2+10+30+90+270 = 402. See EXPERIMENTS.md.
+func CountSingleCellFPs(nOps int) int {
+	if nOps < 0 {
+		panic(fmt.Sprintf("fp: negative operation count %d", nOps))
+	}
+	if nOps == 0 {
+		return 2
+	}
+	n := 10
+	for i := 1; i < nOps; i++ {
+		n *= 3
+	}
+	return n
+}
+
+// CumulativeSingleCellFPs returns the number of single-cell FPs with
+// #O ≤ maxOps — the size of the space a brute-force fault analysis must
+// inspect (Section 4's exponential blow-up).
+func CumulativeSingleCellFPs(maxOps int) int {
+	total := 0
+	for n := 0; n <= maxOps; n++ {
+		total += CountSingleCellFPs(n)
+	}
+	return total
+}
+
+// EnumerateSingleCellFPs generates every single-cell FP whose SOS has
+// exactly nOps operations, in deterministic order. All operations target
+// the victim; reads carry the value a fault-free memory would return.
+func EnumerateSingleCellFPs(nOps int) []FP {
+	if nOps < 0 {
+		panic(fmt.Sprintf("fp: negative operation count %d", nOps))
+	}
+	var out []FP
+	for _, init := range []Init{Init0, Init1} {
+		state := 0
+		if init == Init1 {
+			state = 1
+		}
+		out = appendFPs(out, SOS{Init: init}, state, nOps)
+	}
+	return out
+}
+
+// appendFPs extends the partial SOS by remaining operations and, when
+// none remain, emits the faulty outcomes.
+func appendFPs(out []FP, s SOS, state, remaining int) []FP {
+	if remaining == 0 {
+		return appendOutcomes(out, s, state)
+	}
+	// Writes 0 and 1.
+	for _, d := range []int{0, 1} {
+		next := s
+		next.Ops = append(append([]Op(nil), s.Ops...), W(d))
+		out = appendFPs(out, next, d, remaining-1)
+	}
+	// The deterministic read of the current state.
+	next := s
+	next.Ops = append(append([]Op(nil), s.Ops...), R(state))
+	out = appendFPs(out, next, state, remaining-1)
+	return out
+}
+
+// appendOutcomes emits every faulty <F,R> combination for a finished SOS.
+func appendOutcomes(out []FP, s SOS, state int) []FP {
+	last, hasOp := s.FinalOp()
+	if hasOp && last.Kind == OpRead {
+		for _, f := range []int{0, 1} {
+			for _, r := range []int{0, 1} {
+				if f == state && r == last.Data {
+					continue // fault-free
+				}
+				out = append(out, FP{S: s, F: f, R: ReadResultOf(r)})
+			}
+		}
+		return out
+	}
+	// Write-final (or op-free): the only faulty outcome is a flipped state.
+	out = append(out, FP{S: s, F: 1 - state, R: RNone})
+	return out
+}
+
+// CompletedSatisfiesRelations checks the paper's Section 4 property: a
+// completed FP has at least as many cell accesses and/or operations as
+// its partial counterpart (one of the three relations must hold, which
+// reduces to #Cc ≥ #Cp or #Oc ≥ #Op).
+func CompletedSatisfiesRelations(partial, completed FP) bool {
+	cp, op := partial.S.NumCells(), partial.S.NumOps()
+	cc, oc := completed.S.NumCells(), completed.S.NumOps()
+	return cc >= cp || oc >= op
+}

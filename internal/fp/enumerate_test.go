@@ -1,0 +1,125 @@
+package fp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountSingleCellFPs(t *testing.T) {
+	// The taxonomy counts: 2 state faults, 10 one-op FPs (the classical
+	// twelve static single-cell FPs together), then ×3 per extra op.
+	cases := []struct{ n, want int }{
+		{0, 2}, {1, 10}, {2, 30}, {3, 90}, {4, 270},
+	}
+	for _, c := range cases {
+		if got := CountSingleCellFPs(c.n); got != c.want {
+			t.Errorf("CountSingleCellFPs(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCumulativeCounts(t *testing.T) {
+	// Section 4: analysis with #O = 0 and 1 inspects 12 FPs.
+	if got := CumulativeSingleCellFPs(1); got != 12 {
+		t.Errorf("cumulative #O≤1 = %d, want 12 (the paper's value)", got)
+	}
+	// Exact cumulative count at #O ≤ 4 (the paper's scan prints 372; the
+	// exact value is 402 — see EXPERIMENTS.md).
+	if got := CumulativeSingleCellFPs(4); got != 402 {
+		t.Errorf("cumulative #O≤4 = %d, want 402", got)
+	}
+}
+
+func TestEnumerationMatchesCount(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		fps := EnumerateSingleCellFPs(n)
+		if got, want := len(fps), CountSingleCellFPs(n); got != want {
+			t.Errorf("#O=%d: enumerated %d FPs, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEnumerationIsDistinct(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		seen := map[string]bool{}
+		for _, p := range EnumerateSingleCellFPs(n) {
+			s := p.String()
+			if seen[s] {
+				t.Errorf("#O=%d: duplicate FP %s", n, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestEnumerationAllValid(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		for _, p := range EnumerateSingleCellFPs(n) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("#O=%d: invalid enumerated FP %s: %v", n, p, err)
+			}
+			if p.S.NumOps() != n {
+				t.Errorf("#O=%d: FP %s has %d ops", n, p, p.S.NumOps())
+			}
+			if p.S.NumCells() != 1 {
+				t.Errorf("#O=%d: FP %s is not single-cell", n, p)
+			}
+		}
+	}
+}
+
+func TestEnumerationOneOpIsTheStaticTaxonomy(t *testing.T) {
+	// #O ≤ 1 must reproduce exactly the 12 classical static single-cell
+	// FPs: every one classifies to a named FFM and all 12 FFMs appear.
+	all := append(EnumerateSingleCellFPs(0), EnumerateSingleCellFPs(1)...)
+	seen := map[FFM]int{}
+	for _, p := range all {
+		f := p.Classify()
+		if f == FFMUnknown {
+			t.Errorf("static FP %s does not classify", p)
+		}
+		seen[f]++
+	}
+	for _, f := range AllFFMs() {
+		if seen[f] != 1 {
+			t.Errorf("FFM %s appears %d times in the static space, want 1", f, seen[f])
+		}
+	}
+}
+
+// Property: every enumerated FP round-trips through the parser.
+func TestEnumerationParseRoundTripProperty(t *testing.T) {
+	all := EnumerateSingleCellFPs(2)
+	prop := func(idx uint16) bool {
+		p := all[int(idx)%len(all)]
+		q, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return q.String() == p.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: complementing is an involution on enumerated FPs.
+func TestComplementInvolutionProperty(t *testing.T) {
+	all := EnumerateSingleCellFPs(3)
+	prop := func(idx uint16) bool {
+		p := all[int(idx)%len(all)]
+		return p.Complement().Complement().String() == p.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count should panic")
+		}
+	}()
+	CountSingleCellFPs(-1)
+}

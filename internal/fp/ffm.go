@@ -1,0 +1,204 @@
+package fp
+
+// FFM is a functional fault model: the named class a fault primitive
+// belongs to. The single-cell static taxonomy follows [vdGoor00] and the
+// paper's Table 1.
+type FFM int
+
+// The single-cell static FFMs.
+const (
+	FFMUnknown FFM = iota
+	SF0            // state fault:       <0/1/->
+	SF1            // state fault:       <1/0/->
+	TFUp           // up-transition:     <0w1/0/->
+	TFDown         // down-transition:   <1w0/1/->
+	WDF0           // write destructive: <0w0/1/->
+	WDF1           // write destructive: <1w1/0/->
+	RDF0           // read destructive:  <0r0/1/1>
+	RDF1           // read destructive:  <1r1/0/0>
+	DRDF0          // deceptive RDF:     <0r0/1/0>
+	DRDF1          // deceptive RDF:     <1r1/0/1>
+	IRF0           // incorrect read:    <0r0/0/1>
+	IRF1           // incorrect read:    <1r1/1/0>
+)
+
+// ffmNames uses the paper's spelling; ↑/↓ mark transition direction.
+var ffmNames = map[FFM]string{
+	FFMUnknown: "?",
+	SF0:        "SF0",
+	SF1:        "SF1",
+	TFUp:       "TF↑",
+	TFDown:     "TF↓",
+	WDF0:       "WDF0",
+	WDF1:       "WDF1",
+	RDF0:       "RDF0",
+	RDF1:       "RDF1",
+	DRDF0:      "DRDF0",
+	DRDF1:      "DRDF1",
+	IRF0:       "IRF0",
+	IRF1:       "IRF1",
+}
+
+// String returns the FFM's conventional name.
+func (f FFM) String() string { return ffmNames[f] }
+
+// AllFFMs lists the twelve single-cell static FFMs in taxonomy order.
+func AllFFMs() []FFM {
+	return []FFM{SF0, SF1, TFUp, TFDown, WDF0, WDF1, RDF0, RDF1, DRDF0, DRDF1, IRF0, IRF1}
+}
+
+// Describe returns a one-line description of an FFM.
+func Describe(f FFM) string {
+	switch f {
+	case SF0, SF1:
+		return "state fault: the cell cannot hold its value"
+	case TFUp:
+		return "transition fault: the 0→1 write fails"
+	case TFDown:
+		return "transition fault: the 1→0 write fails"
+	case WDF0, WDF1:
+		return "write destructive: a non-transition write flips the cell"
+	case RDF0, RDF1:
+		return "read destructive: the read flips the cell and returns the wrong value"
+	case DRDF0, DRDF1:
+		return "deceptive read destructive: the read returns the right value but flips the cell"
+	case IRF0, IRF1:
+		return "incorrect read: wrong output, cell unchanged"
+	}
+	return "unknown fault model"
+}
+
+// Complement maps an FFM to the FFM its complementary defect exhibits
+// (Table 1's "Com. FFM" column): all data values flip.
+func (f FFM) Complement() FFM {
+	switch f {
+	case SF0:
+		return SF1
+	case SF1:
+		return SF0
+	case TFUp:
+		return TFDown
+	case TFDown:
+		return TFUp
+	case WDF0:
+		return WDF1
+	case WDF1:
+		return WDF0
+	case RDF0:
+		return RDF1
+	case RDF1:
+		return RDF0
+	case DRDF0:
+		return DRDF1
+	case DRDF1:
+		return DRDF0
+	case IRF0:
+		return IRF1
+	case IRF1:
+		return IRF0
+	}
+	return FFMUnknown
+}
+
+// CanonicalFP returns the defining single-cell fault primitive of an FFM.
+func (f FFM) CanonicalFP() (FP, bool) {
+	switch f {
+	case SF0:
+		return MustNew(NewSOS(Init0), 1, RNone), true
+	case SF1:
+		return MustNew(NewSOS(Init1), 0, RNone), true
+	case TFUp:
+		return MustNew(NewSOS(Init0, W(1)), 0, RNone), true
+	case TFDown:
+		return MustNew(NewSOS(Init1, W(0)), 1, RNone), true
+	case WDF0:
+		return MustNew(NewSOS(Init0, W(0)), 1, RNone), true
+	case WDF1:
+		return MustNew(NewSOS(Init1, W(1)), 0, RNone), true
+	case RDF0:
+		return MustNew(NewSOS(Init0, R(0)), 1, R1), true
+	case RDF1:
+		return MustNew(NewSOS(Init1, R(1)), 0, R0), true
+	case DRDF0:
+		return MustNew(NewSOS(Init0, R(0)), 1, R0), true
+	case DRDF1:
+		return MustNew(NewSOS(Init1, R(1)), 0, R1), true
+	case IRF0:
+		return MustNew(NewSOS(Init0, R(0)), 0, R1), true
+	case IRF1:
+		return MustNew(NewSOS(Init1, R(1)), 1, R0), true
+	}
+	return FP{}, false
+}
+
+// Classify determines the FFM of a fault primitive by examining the final
+// victim operation (ignoring the completing prefix, as the paper does
+// when it labels <1v [w0BL] r1v/0/0> an RDF1).
+func (p FP) Classify() FFM {
+	base := p.Base()
+	last, hasOp := base.S.FinalOp()
+	if !hasOp {
+		switch base.S.Init {
+		case Init0:
+			if p.F == 1 {
+				return SF0
+			}
+		case Init1:
+			if p.F == 0 {
+				return SF1
+			}
+		}
+		return FFMUnknown
+	}
+	if last.Target != TargetVictim {
+		return FFMUnknown
+	}
+	// State expected before the last operation.
+	pre, preKnown := SOS{Init: base.S.Init, Ops: base.S.Ops[:len(base.S.Ops)-1]}.ExpectedFinalState()
+	if !preKnown {
+		// Reads imply the expected pre-state.
+		if last.Kind == OpRead {
+			pre, preKnown = last.Data, true
+		}
+	}
+	if !preKnown {
+		return FFMUnknown
+	}
+	switch last.Kind {
+	case OpWrite:
+		switch {
+		case pre == 0 && last.Data == 1 && p.F == 0:
+			return TFUp
+		case pre == 1 && last.Data == 0 && p.F == 1:
+			return TFDown
+		case pre == 0 && last.Data == 0 && p.F == 1:
+			return WDF0
+		case pre == 1 && last.Data == 1 && p.F == 0:
+			return WDF1
+		}
+	case OpRead:
+		r, ok := p.R.Bit()
+		if !ok || pre != last.Data {
+			return FFMUnknown
+		}
+		d := last.Data
+		switch {
+		case p.F != d && r != d:
+			if d == 0 {
+				return RDF0
+			}
+			return RDF1
+		case p.F != d && r == d:
+			if d == 0 {
+				return DRDF0
+			}
+			return DRDF1
+		case p.F == d && r != d:
+			if d == 0 {
+				return IRF0
+			}
+			return IRF1
+		}
+	}
+	return FFMUnknown
+}

@@ -1,0 +1,170 @@
+package fp
+
+import "fmt"
+
+// ReadResult is the R component of <S/F/R>.
+type ReadResult int
+
+// Read results. RNone ("-") means the SOS does not end with a read of the
+// victim, so there is no output to observe.
+const (
+	RNone ReadResult = iota
+	R0
+	R1
+)
+
+// String renders the R token.
+func (r ReadResult) String() string {
+	switch r {
+	case R0:
+		return "0"
+	case R1:
+		return "1"
+	default:
+		return "-"
+	}
+}
+
+// Bit returns the read value and whether one exists.
+func (r ReadResult) Bit() (int, bool) {
+	switch r {
+	case R0:
+		return 0, true
+	case R1:
+		return 1, true
+	}
+	return 0, false
+}
+
+// ReadResultOf converts a bit to a ReadResult.
+func ReadResultOf(bit int) ReadResult {
+	if mustBit(bit) == 1 {
+		return R1
+	}
+	return R0
+}
+
+// FP is a fault primitive <S/F/R>: an SOS, the resulting faulty victim
+// state F, and the read output R (if the SOS ends with a victim read).
+type FP struct {
+	// S is the sensitizing operation sequence.
+	S SOS
+	// F is the faulty victim state after S.
+	F int
+	// R is the output of the final read, or RNone.
+	R ReadResult
+}
+
+// New builds an FP, validating the combination.
+func New(s SOS, f int, r ReadResult) (FP, error) {
+	out := FP{S: s, F: mustBit(f), R: r}
+	if err := out.Validate(); err != nil {
+		return FP{}, err
+	}
+	return out, nil
+}
+
+// MustNew builds an FP and panics on invalid input; intended for
+// package-level fault libraries.
+func MustNew(s SOS, f int, r ReadResult) FP {
+	out, err := New(s, f, r)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Validate checks the <S/F/R> combination: R must be present exactly when
+// the SOS ends with a victim read, and the behaviour must actually be
+// faulty (F or R deviating from the fault-free outcome).
+func (p FP) Validate() error {
+	if err := p.S.Validate(); err != nil {
+		return err
+	}
+	if p.F != 0 && p.F != 1 {
+		return fmt.Errorf("fp: F = %d out of range", p.F)
+	}
+	last, hasOp := p.S.FinalOp()
+	endsWithVictimRead := hasOp && last.Kind == OpRead && last.Target == TargetVictim && !last.Completing
+	if endsWithVictimRead && p.R == RNone {
+		return fmt.Errorf("fp: %s ends with a victim read but R is '-'", p.S)
+	}
+	if !endsWithVictimRead && p.R != RNone {
+		return fmt.Errorf("fp: %s does not end with a victim read but R = %s", p.S, p.R)
+	}
+	expected, known := p.S.ExpectedFinalState()
+	if known {
+		stateFaulty := p.F != expected
+		readFaulty := false
+		if rb, ok := p.R.Bit(); ok && endsWithVictimRead {
+			readFaulty = rb != last.Data
+		}
+		if !stateFaulty && !readFaulty {
+			return fmt.Errorf("fp: <%s/%d/%s> describes fault-free behaviour", p.S, p.F, p.R)
+		}
+	}
+	return nil
+}
+
+// String renders the paper's notation, e.g. "<1r1/0/0>",
+// "<1v [w0BL] r1v/0/0>", "<0/1/->".
+func (p FP) String() string {
+	return fmt.Sprintf("<%s/%d/%s>", p.S, p.F, p.R)
+}
+
+// Complement returns the FP describing the complementary defect's
+// behaviour: all data values flipped [Al-Ars00].
+func (p FP) Complement() FP {
+	return FP{S: p.S.Complement(), F: 1 - p.F, R: complementR(p.R)}
+}
+
+func complementR(r ReadResult) ReadResult {
+	switch r {
+	case R0:
+		return R1
+	case R1:
+		return R0
+	}
+	return RNone
+}
+
+// IsCompleted reports whether the FP carries completing operations.
+func (p FP) IsCompleted() bool { return p.S.HasCompleting() }
+
+// Base returns the FP with its completing operations stripped — the
+// partial FP underlying a completed one. The initialization is restored
+// from the expected state before the first sensitizing operation when the
+// completed form dropped it.
+func (p FP) Base() FP {
+	sens := p.S.SensitizingOps()
+	init := p.S.Init
+	if init == InitNone && len(sens) > 0 {
+		// Recover the init the bare FFM notation would use: the state the
+		// completing prefix leaves the victim in, fault-free.
+		state := -1
+		switch p.S.Init {
+		case Init0:
+			state = 0
+		case Init1:
+			state = 1
+		}
+		for _, o := range p.S.CompletingOps() {
+			if o.Target == TargetVictim && o.Kind == OpWrite {
+				state = o.Data
+			}
+		}
+		if state < 0 {
+			// Fall back to the final op's expected pre-state for reads.
+			if sens[0].Kind == OpRead {
+				state = sens[0].Data
+			}
+		}
+		switch state {
+		case 0:
+			init = Init0
+		case 1:
+			init = Init1
+		}
+	}
+	return FP{S: SOS{Init: init, Ops: sens}, F: p.F, R: p.R}
+}

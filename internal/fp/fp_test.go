@@ -1,0 +1,233 @@
+package fp
+
+import (
+	"testing"
+)
+
+func TestPaperNotationRoundTrip(t *testing.T) {
+	// Every FP string the paper itself uses.
+	cases := []string{
+		"<0w1/0/->",
+		"<1r1/0/0>",
+		"<0r0/1/1>",
+		"<1v [w0BL] r1v/0/0>",
+		"<[w1 w1 w0] r0/1/1>",
+		"<0v [w1BL] r0v/1/1>",
+		"<1v [w1BL] r1v/0/1>",
+		"<0v [w1BL] r0v/0/1>",
+		"<1v [w0BL] r1v/1/0>",
+		"<1v [w0BL] w1v/0/->",
+		"<1v [w1BL] w0v/1/->",
+	}
+	for _, c := range cases {
+		p, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		if got := p.String(); got != c {
+			t.Errorf("round trip %q → %q", c, got)
+		}
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	a := MustParse("<1v [w0BL] r1v/0/0>")
+	b := MustParse("< 1v [w0BL] r1v / 0 / 0 >")
+	if a.String() != b.String() {
+		t.Errorf("whitespace variants differ: %s vs %s", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<1r1/0/0",
+		"1r1/0/0",
+		"<1r1>",
+		"<1r1/2/0>",
+		"<1r1/0/x>",
+		"<1x1/0/0>",
+		"<w2/0/->",
+		"<1r1 [w0BL]/0/0>", // completing ops after sensitizing
+		"<[w0BL/0/->",      // unterminated bracket
+		"<0w1BX/0/->",      // bad subscript
+		"<0r0/1/->",        // victim read without R
+		"<0w1/0/1>",        // write-final with R
+		"<0w1/1/->",        // fault-free behaviour
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestStateFaultNotation(t *testing.T) {
+	sf0 := MustNew(NewSOS(Init0), 1, RNone)
+	if got := sf0.String(); got != "<0/1/->" {
+		t.Errorf("SF0 = %q, want <0/1/->", got)
+	}
+	parsed := MustParse("<0/1/->")
+	if parsed.Classify() != SF0 {
+		t.Errorf("parsed SF0 classifies as %s", parsed.Classify())
+	}
+}
+
+func TestNumCellsNumOps(t *testing.T) {
+	cases := []struct {
+		fp     string
+		nc, no int
+	}{
+		{"<1r1/0/0>", 1, 1},
+		{"<0/1/->", 1, 0},
+		{"<1v [w0BL] r1v/0/0>", 2, 2},
+		{"<[w1 w1 w0] r0/1/1>", 1, 4},
+		{"<0v [w1BL] r0v/1/1>", 2, 2},
+	}
+	for _, c := range cases {
+		p := MustParse(c.fp)
+		if got := p.S.NumCells(); got != c.nc {
+			t.Errorf("%s #C = %d, want %d", c.fp, got, c.nc)
+		}
+		if got := p.S.NumOps(); got != c.no {
+			t.Errorf("%s #O = %d, want %d", c.fp, got, c.no)
+		}
+	}
+}
+
+func TestPaperSection4Example(t *testing.T) {
+	// "Open 4 results in the partial fault RDF1 (#Cp=1, #Op=1); the
+	// completed <1v [w0BL] r1v/0/0> has #Cc=2, #Oc=2, satisfying
+	// Relation 3."
+	partial := MustParse("<1r1/0/0>")
+	completed := MustParse("<1v [w0BL] r1v/0/0>")
+	if partial.S.NumCells() != 1 || partial.S.NumOps() != 1 {
+		t.Error("partial RDF1 must have #C=1, #O=1")
+	}
+	if completed.S.NumCells() != 2 || completed.S.NumOps() != 2 {
+		t.Error("completed RDF1 must have #C=2, #O=2")
+	}
+	if !CompletedSatisfiesRelations(partial, completed) {
+		t.Error("the paper's example must satisfy the #C/#O relations")
+	}
+}
+
+func TestClassifyCanonicalFPs(t *testing.T) {
+	for _, f := range AllFFMs() {
+		p, ok := f.CanonicalFP()
+		if !ok {
+			t.Fatalf("no canonical FP for %s", f)
+		}
+		if got := p.Classify(); got != f {
+			t.Errorf("canonical %s classifies as %s (%s)", f, got, p)
+		}
+	}
+}
+
+func TestClassifyCompletedFPs(t *testing.T) {
+	cases := []struct {
+		fp   string
+		want FFM
+	}{
+		{"<1v [w0BL] r1v/0/0>", RDF1},
+		{"<[w1 w1 w0] r0/1/1>", RDF0},
+		{"<0v [w1BL] r0v/1/1>", RDF0},
+		{"<1v [w1BL] r1v/0/1>", DRDF1},
+		{"<0v [w1BL] r0v/0/1>", IRF0},
+		{"<1v [w0BL] r1v/1/0>", IRF1},
+		{"<1v [w0BL] w1v/0/->", WDF1},
+		{"<1v [w1BL] w0v/1/->", TFDown},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.fp).Classify(); got != c.want {
+			t.Errorf("%s classifies as %s, want %s", c.fp, got, c.want)
+		}
+	}
+}
+
+func TestFFMComplementInvolution(t *testing.T) {
+	for _, f := range AllFFMs() {
+		if f.Complement().Complement() != f {
+			t.Errorf("%s complement is not an involution", f)
+		}
+		if f.Complement() == f {
+			t.Errorf("%s is its own complement", f)
+		}
+	}
+}
+
+func TestFPComplementMatchesFFMComplement(t *testing.T) {
+	// Complementing an FP must complement its classification — the rule
+	// behind Table 1's Sim./Com. FFM pairing.
+	for _, f := range AllFFMs() {
+		p, _ := f.CanonicalFP()
+		comp := p.Complement()
+		if got := comp.Classify(); got != f.Complement() {
+			t.Errorf("%s complement FP %s classifies as %s, want %s", f, comp, got, f.Complement())
+		}
+	}
+}
+
+func TestComplementTable1Examples(t *testing.T) {
+	// Table 1 pairs <0v [w1BL] r0v/1/1> (RDF0) with the complementary
+	// RDF1 behaviour.
+	p := MustParse("<0v [w1BL] r0v/1/1>")
+	want := "<1v [w0BL] r1v/0/0>"
+	if got := p.Complement().String(); got != want {
+		t.Errorf("complement = %s, want %s", got, want)
+	}
+}
+
+func TestBaseStripsCompletingOps(t *testing.T) {
+	completed := MustParse("<1v [w0BL] r1v/0/0>")
+	base := completed.Base()
+	if base.String() != "<1r1/0/0>" {
+		t.Errorf("Base = %s, want <1r1/0/0>", base)
+	}
+	// Init recovered from a victim-targeted completing write.
+	c2 := MustParse("<[w1 w1 w0] r0/1/1>")
+	b2 := c2.Base()
+	if b2.String() != "<0r0/1/1>" {
+		t.Errorf("Base = %s, want <0r0/1/1>", b2)
+	}
+}
+
+func TestExpectedFinalState(t *testing.T) {
+	cases := []struct {
+		sos   string
+		state int
+		known bool
+	}{
+		{"1r1", 1, true},
+		{"0w1", 1, true},
+		{"[w1 w1 w0] r0", 0, true},
+		{"1v [w0BL] r1v", 1, true},
+	}
+	for _, c := range cases {
+		s, err := ParseSOS(c.sos)
+		if err != nil {
+			t.Fatalf("ParseSOS(%q): %v", c.sos, err)
+		}
+		got, known := s.ExpectedFinalState()
+		if known != c.known || (known && got != c.state) {
+			t.Errorf("%q expected final state = %d,%v, want %d,%v", c.sos, got, known, c.state, c.known)
+		}
+	}
+}
+
+func TestSOSValidateOrdering(t *testing.T) {
+	s := SOS{Init: Init0, Ops: []Op{R(0), CWBL(1)}}
+	if err := s.Validate(); err == nil {
+		t.Error("completing op after sensitizing op must be invalid")
+	}
+}
+
+func TestOpConstructorsPanicOnBadData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("W(2) should panic")
+		}
+	}()
+	W(2)
+}

@@ -1,0 +1,178 @@
+package fp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a fault primitive in the paper's notation:
+//
+//	<1r1/0/0>
+//	<0w1/0/->
+//	<1v [w0BL] r1v/0/0>
+//	<[w1 w1 w0] r0/1/1>
+//	<0/1/->
+//
+// Whitespace between tokens is optional except inside bracket groups,
+// where it separates operations.
+func Parse(s string) (FP, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "<") || !strings.HasSuffix(t, ">") {
+		return FP{}, fmt.Errorf("fp: %q is not bracketed by <>", s)
+	}
+	t = t[1 : len(t)-1]
+	// Split into S / F / R on the LAST two slashes so that future
+	// extensions of S cannot collide.
+	i2 := strings.LastIndex(t, "/")
+	if i2 < 0 {
+		return FP{}, fmt.Errorf("fp: %q lacks /F/R fields", s)
+	}
+	i1 := strings.LastIndex(t[:i2], "/")
+	if i1 < 0 {
+		return FP{}, fmt.Errorf("fp: %q lacks /F/R fields", s)
+	}
+	sosStr := strings.TrimSpace(t[:i1])
+	fStr := strings.TrimSpace(t[i1+1 : i2])
+	rStr := strings.TrimSpace(t[i2+1:])
+
+	sos, err := ParseSOS(sosStr)
+	if err != nil {
+		return FP{}, err
+	}
+	var f int
+	switch fStr {
+	case "0":
+		f = 0
+	case "1":
+		f = 1
+	default:
+		return FP{}, fmt.Errorf("fp: invalid F field %q", fStr)
+	}
+	var r ReadResult
+	switch rStr {
+	case "0":
+		r = R0
+	case "1":
+		r = R1
+	case "-", "−", "":
+		r = RNone
+	default:
+		return FP{}, fmt.Errorf("fp: invalid R field %q", rStr)
+	}
+	return New(sos, f, r)
+}
+
+// MustParse parses an FP and panics on error; for static fault tables.
+func MustParse(s string) FP {
+	out, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ParseSOS reads the S component of the notation.
+func ParseSOS(s string) (SOS, error) {
+	var out SOS
+	rest := strings.TrimSpace(s)
+	if rest == "" {
+		return SOS{}, fmt.Errorf("fp: empty SOS")
+	}
+	// Optional initialization: a leading 0/1 not followed by w/r digits
+	// (i.e. a bare state token, possibly with a v subscript).
+	if rest[0] == '0' || rest[0] == '1' {
+		init := Init0
+		if rest[0] == '1' {
+			init = Init1
+		}
+		rest = rest[1:]
+		rest = strings.TrimPrefix(rest, "v")
+		out.Init = init
+		rest = strings.TrimSpace(rest)
+	}
+	for len(rest) > 0 {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] == '[' {
+			end := strings.IndexByte(rest, ']')
+			if end < 0 {
+				return SOS{}, fmt.Errorf("fp: unterminated bracket group in %q", s)
+			}
+			group := rest[1:end]
+			rest = rest[end+1:]
+			for _, tok := range strings.Fields(group) {
+				op, err := parseOpToken(tok, true)
+				if err != nil {
+					return SOS{}, err
+				}
+				out.Ops = append(out.Ops, op)
+			}
+			continue
+		}
+		tok, remainder := nextOpToken(rest)
+		if tok == "" {
+			return SOS{}, fmt.Errorf("fp: cannot parse SOS near %q", rest)
+		}
+		op, err := parseOpToken(tok, false)
+		if err != nil {
+			return SOS{}, err
+		}
+		out.Ops = append(out.Ops, op)
+		rest = remainder
+	}
+	if err := out.Validate(); err != nil {
+		return SOS{}, err
+	}
+	return out, nil
+}
+
+// nextOpToken peels one operation token (like "w0BL" or "r1v") off the
+// front of the string.
+func nextOpToken(s string) (tok, rest string) {
+	if len(s) < 2 || (s[0] != 'w' && s[0] != 'r') {
+		return "", s
+	}
+	n := 2 // op letter + data bit
+	if len(s) > n && s[n] == 'v' {
+		n++
+	} else if len(s) >= n+2 && s[n:n+2] == "BL" {
+		n += 2
+	}
+	return s[:n], s[n:]
+}
+
+// parseOpToken parses a single operation token.
+func parseOpToken(tok string, completing bool) (Op, error) {
+	if len(tok) < 2 {
+		return Op{}, fmt.Errorf("fp: invalid operation token %q", tok)
+	}
+	var kind OpKind
+	switch tok[0] {
+	case 'w':
+		kind = OpWrite
+	case 'r':
+		kind = OpRead
+	default:
+		return Op{}, fmt.Errorf("fp: invalid operation token %q", tok)
+	}
+	var data int
+	switch tok[1] {
+	case '0':
+		data = 0
+	case '1':
+		data = 1
+	default:
+		return Op{}, fmt.Errorf("fp: invalid data in token %q", tok)
+	}
+	target := TargetVictim
+	switch tok[2:] {
+	case "", "v":
+	case "BL":
+		target = TargetBitLine
+	default:
+		return Op{}, fmt.Errorf("fp: invalid subscript in token %q", tok)
+	}
+	return Op{Kind: kind, Data: data, Target: target, Completing: completing}, nil
+}

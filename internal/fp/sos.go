@@ -1,0 +1,230 @@
+package fp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Init describes the initial victim state required by an SOS.
+type Init int
+
+// Initial states. InitNone means the SOS drops the initialization because
+// its own operations sufficiently initialize the cell (the paper does
+// this for <[w1 w1 w0] r0/1/1>).
+const (
+	InitNone Init = iota
+	Init0
+	Init1
+)
+
+// String renders the init token ("", "0" or "1").
+func (i Init) String() string {
+	switch i {
+	case Init0:
+		return "0"
+	case Init1:
+		return "1"
+	default:
+		return ""
+	}
+}
+
+// SOS is a sensitizing operation sequence: an optional victim
+// initialization followed by operations.
+type SOS struct {
+	// Init is the required initial victim state.
+	Init Init
+	// Ops are the operations in application order.
+	Ops []Op
+}
+
+// NewSOS builds an SOS from an initial state and operations.
+func NewSOS(init Init, ops ...Op) SOS { return SOS{Init: init, Ops: ops} }
+
+// NumOps returns #O: the number of operations in the SOS (initializations
+// do not count), per the paper's Section 4 definition.
+func (s SOS) NumOps() int { return len(s.Ops) }
+
+// NumCells returns #C: the number of distinct cells the SOS touches —
+// the victim (via init or a victim-targeted op) plus one for any
+// bit-line-targeted cell.
+func (s SOS) NumCells() int {
+	victim := s.Init != InitNone
+	bl := false
+	for _, o := range s.Ops {
+		switch o.Target {
+		case TargetVictim:
+			victim = true
+		case TargetBitLine:
+			bl = true
+		}
+	}
+	n := 0
+	if victim {
+		n++
+	}
+	if bl {
+		n++
+	}
+	return n
+}
+
+// HasCompleting reports whether any operation is a completing operation.
+func (s SOS) HasCompleting() bool {
+	for _, o := range s.Ops {
+		if o.Completing {
+			return true
+		}
+	}
+	return false
+}
+
+// CompletingOps returns the completing-operation prefix.
+func (s SOS) CompletingOps() []Op {
+	var out []Op
+	for _, o := range s.Ops {
+		if o.Completing {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SensitizingOps returns the non-completing operations.
+func (s SOS) SensitizingOps() []Op {
+	var out []Op
+	for _, o := range s.Ops {
+		if !o.Completing {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// FinalOp returns the last operation and true, or a zero Op and false for
+// an operation-free SOS (a state fault's).
+func (s SOS) FinalOp() (Op, bool) {
+	if len(s.Ops) == 0 {
+		return Op{}, false
+	}
+	return s.Ops[len(s.Ops)-1], true
+}
+
+// ExpectedFinalState returns the victim state a fault-free memory would
+// hold after the SOS, and whether it is determined (an SOS with no init
+// and no victim write leaves it undetermined).
+func (s SOS) ExpectedFinalState() (int, bool) {
+	state, known := 0, false
+	switch s.Init {
+	case Init0:
+		state, known = 0, true
+	case Init1:
+		state, known = 1, true
+	}
+	for _, o := range s.Ops {
+		if o.Target == TargetVictim && o.Kind == OpWrite {
+			state, known = o.Data, true
+		}
+	}
+	return state, known
+}
+
+// usesSubscripts reports whether the printed form needs v/BL subscripts
+// (the paper adds them as soon as more than one cell is involved).
+func (s SOS) usesSubscripts() bool {
+	for _, o := range s.Ops {
+		if o.Target != TargetVictim {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the SOS in the paper's notation, grouping consecutive
+// completing operations in square brackets. Following the paper, tokens
+// are concatenated when only the victim is involved ("1r1", "0w1") and
+// space-separated with v/BL subscripts once a second cell appears
+// ("1v [w0BL] r1v"); bracket groups are always space-delimited:
+//
+//	"1r1", "0w1", "1v [w0BL] r1v", "[w1 w1 w0] r0"
+func (s SOS) String() string {
+	sub := s.usesSubscripts()
+	var parts []string
+	if s.Init != InitNone {
+		tok := s.Init.String()
+		if sub {
+			tok += "v"
+		}
+		parts = append(parts, tok)
+	}
+	i := 0
+	for i < len(s.Ops) {
+		o := s.Ops[i]
+		if o.Completing {
+			var grp []string
+			for i < len(s.Ops) && s.Ops[i].Completing {
+				g := s.Ops[i]
+				if sub {
+					grp = append(grp, g.withSubscript())
+				} else {
+					grp = append(grp, g.String())
+				}
+				i++
+			}
+			parts = append(parts, "["+strings.Join(grp, " ")+"]")
+			continue
+		}
+		if sub {
+			parts = append(parts, o.withSubscript())
+		} else {
+			parts = append(parts, o.String())
+		}
+		i++
+	}
+	if sub {
+		return strings.Join(parts, " ")
+	}
+	// Concatenate, but keep bracket groups space-delimited.
+	var b strings.Builder
+	for j, p := range parts {
+		if j > 0 && (strings.HasPrefix(p, "[") || strings.HasSuffix(parts[j-1], "]")) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+// Complement returns the SOS with all data values flipped.
+func (s SOS) Complement() SOS {
+	out := SOS{Init: s.Init}
+	switch s.Init {
+	case Init0:
+		out.Init = Init1
+	case Init1:
+		out.Init = Init0
+	}
+	out.Ops = make([]Op, len(s.Ops))
+	for i, o := range s.Ops {
+		out.Ops[i] = o.Complement()
+	}
+	return out
+}
+
+// Validate checks internal consistency: completing operations must
+// precede the sensitizing ones, and data values must be bits.
+func (s SOS) Validate() error {
+	seenSensitizing := false
+	for i, o := range s.Ops {
+		if o.Data != 0 && o.Data != 1 {
+			return fmt.Errorf("fp: op %d has data %d", i, o.Data)
+		}
+		if o.Completing && seenSensitizing {
+			return fmt.Errorf("fp: completing op %d follows a sensitizing op", i)
+		}
+		if !o.Completing {
+			seenSensitizing = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package fp
+
+import "fmt"
+
+// Two-cell (coupling) fault primitives. The paper's Section 4 defines
+// #C, the number of distinct cells an SOS accesses; completed FPs such
+// as <1v [w0BL] r1v/0/0> have #C = 2. This file provides the standard
+// static two-cell FP space of [vdGoor00] — aggressor state or single
+// aggressor/victim operation sensitizing a victim deviation — both to
+// ground the #C accounting and to let the march engine reason about
+// classical coupling faults alongside the partial faults.
+
+// CFKind names the classical two-cell (coupling) FFM classes.
+type CFKind int
+
+// The static coupling-fault classes.
+const (
+	CFUnknown CFKind = iota
+	// CFst: state coupling — <s_a; s_v / F / ->, both cells in a state.
+	CFst
+	// CFds: disturb coupling — an aggressor operation disturbs the
+	// victim: <xwy_a; s_v / F / -> or <xrx_a; s_v / F / ->.
+	CFds
+	// CFtr: transition coupling — a victim transition write fails for an
+	// aggressor state: <s_a; xwy_v / F / ->.
+	CFtr
+	// CFwd: write destructive coupling — a victim non-transition write
+	// flips it under an aggressor state.
+	CFwd
+	// CFrd: read destructive coupling — a victim read flips cell and
+	// output under an aggressor state.
+	CFrd
+	// CFdr: deceptive read destructive coupling.
+	CFdr
+	// CFir: incorrect read coupling.
+	CFir
+)
+
+// String names the class.
+func (k CFKind) String() string {
+	switch k {
+	case CFst:
+		return "CFst"
+	case CFds:
+		return "CFds"
+	case CFtr:
+		return "CFtr"
+	case CFwd:
+		return "CFwd"
+	case CFrd:
+		return "CFrd"
+	case CFdr:
+		return "CFdr"
+	case CFir:
+		return "CFir"
+	}
+	return "?"
+}
+
+// TwoCellFP is a static two-cell fault primitive <S_a; S_v / F / R>: the
+// aggressor condition, the victim condition, and the faulty outcome on
+// the victim.
+type TwoCellFP struct {
+	// AggState is the aggressor's required state.
+	AggState int
+	// AggOp is the aggressor operation, if the FP is aggressor-
+	// operation sensitized (CFds); nil otherwise.
+	AggOp *Op
+	// VictimState is the victim's required state.
+	VictimState int
+	// VictimOp is the victim operation, if victim-operation sensitized;
+	// nil otherwise.
+	VictimOp *Op
+	// F is the faulty victim state.
+	F int
+	// R is the faulty read output for read-sensitized FPs.
+	R ReadResult
+}
+
+// String renders the standard notation, e.g. "<0w1; 1/0/->" (CFds) or
+// "<1; 0w1/0/->" (CFtr).
+func (p TwoCellFP) String() string {
+	agg := fmt.Sprintf("%d", p.AggState)
+	if p.AggOp != nil {
+		agg = fmt.Sprintf("%d%s", p.AggState, p.AggOp)
+	}
+	vic := fmt.Sprintf("%d", p.VictimState)
+	if p.VictimOp != nil {
+		vic = fmt.Sprintf("%d%s", p.VictimState, p.VictimOp)
+	}
+	return fmt.Sprintf("<%s; %s/%d/%s>", agg, vic, p.F, p.R)
+}
+
+// NumCells returns #C (always 2 for a two-cell FP).
+func (p TwoCellFP) NumCells() int { return 2 }
+
+// NumOps returns #O: aggressor plus victim operations.
+func (p TwoCellFP) NumOps() int {
+	n := 0
+	if p.AggOp != nil {
+		n++
+	}
+	if p.VictimOp != nil {
+		n++
+	}
+	return n
+}
+
+// Classify maps the FP onto the coupling-fault taxonomy.
+func (p TwoCellFP) Classify() CFKind {
+	switch {
+	case p.AggOp == nil && p.VictimOp == nil:
+		if p.F != p.VictimState {
+			return CFst
+		}
+	case p.AggOp != nil && p.VictimOp == nil:
+		if p.F != p.VictimState {
+			return CFds
+		}
+	case p.AggOp == nil && p.VictimOp != nil && p.VictimOp.Kind == OpWrite:
+		if p.VictimOp.Data != p.VictimState && p.F == p.VictimState {
+			return CFtr
+		}
+		if p.VictimOp.Data == p.VictimState && p.F != p.VictimState {
+			return CFwd
+		}
+	case p.AggOp == nil && p.VictimOp != nil && p.VictimOp.Kind == OpRead:
+		r, ok := p.R.Bit()
+		if !ok {
+			return CFUnknown
+		}
+		d := p.VictimOp.Data
+		switch {
+		case p.F != d && r != d:
+			return CFrd
+		case p.F != d && r == d:
+			return CFdr
+		case p.F == d && r != d:
+			return CFir
+		}
+	}
+	return CFUnknown
+}
+
+// EnumerateTwoCellStaticFPs generates the complete static two-cell FP
+// space with at most one operation, following [vdGoor00]:
+//
+//   - 4 CFst  (aggressor state × victim state, victim flipped)
+//   - 12 CFds (aggressor op ∈ {w0,w1 transitions and non-transitions,
+//     r0, r1} × victim state, victim flipped)
+//   - 4 CFtr, 4 CFwd (aggressor state × victim transition /
+//     non-transition write, wrong final state)
+//   - 12 CFrd/CFdr/CFir (aggressor state × victim read × 3 faulty
+//     outcome combinations)
+//
+// for 36 FPs in total.
+func EnumerateTwoCellStaticFPs() []TwoCellFP {
+	var out []TwoCellFP
+	// CFst.
+	for _, a := range []int{0, 1} {
+		for _, v := range []int{0, 1} {
+			out = append(out, TwoCellFP{AggState: a, VictimState: v, F: 1 - v})
+		}
+	}
+	// CFds: aggressor ops x=init, op w0/w1/r(init).
+	for _, aInit := range []int{0, 1} {
+		aggOps := []Op{W(0), W(1), R(aInit)}
+		for _, ao := range aggOps {
+			ao := ao
+			for _, v := range []int{0, 1} {
+				out = append(out, TwoCellFP{
+					AggState: aInit, AggOp: &ao,
+					VictimState: v, F: 1 - v,
+				})
+			}
+		}
+	}
+	// CFtr and CFwd: victim writes.
+	for _, a := range []int{0, 1} {
+		for _, v := range []int{0, 1} {
+			for _, d := range []int{0, 1} {
+				op := W(d)
+				out = append(out, TwoCellFP{
+					AggState: a, VictimState: v, VictimOp: &op, F: 1 - d,
+				})
+			}
+		}
+	}
+	// CFrd/CFdr/CFir: victim reads with the three faulty outcomes.
+	for _, a := range []int{0, 1} {
+		for _, v := range []int{0, 1} {
+			op := R(v)
+			for _, f := range []int{0, 1} {
+				for _, r := range []int{0, 1} {
+					if f == v && r == v {
+						continue
+					}
+					out = append(out, TwoCellFP{
+						AggState: a, VictimState: v, VictimOp: &op,
+						F: f, R: ReadResultOf(r),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountTwoCellStaticFPs returns the closed-form size of the static
+// two-cell FP space: 4 + 12 + 8 + 12 = 36.
+func CountTwoCellStaticFPs() int { return 36 }

@@ -1,0 +1,84 @@
+package fp
+
+import "testing"
+
+func TestTwoCellEnumerationCount(t *testing.T) {
+	fps := EnumerateTwoCellStaticFPs()
+	if len(fps) != CountTwoCellStaticFPs() {
+		t.Fatalf("enumerated %d two-cell FPs, want %d", len(fps), CountTwoCellStaticFPs())
+	}
+	if CountTwoCellStaticFPs() != 36 {
+		t.Fatalf("static two-cell space = %d, want 36 [vdGoor00]", CountTwoCellStaticFPs())
+	}
+}
+
+func TestTwoCellClassDistribution(t *testing.T) {
+	counts := map[CFKind]int{}
+	for _, p := range EnumerateTwoCellStaticFPs() {
+		k := p.Classify()
+		if k == CFUnknown {
+			t.Errorf("FP %s does not classify", p)
+		}
+		counts[k]++
+	}
+	want := map[CFKind]int{
+		CFst: 4, CFds: 12, CFtr: 4, CFwd: 4, CFrd: 4, CFdr: 4, CFir: 4,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s count = %d, want %d", k, counts[k], n)
+		}
+	}
+}
+
+func TestTwoCellInvariants(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range EnumerateTwoCellStaticFPs() {
+		if p.NumCells() != 2 {
+			t.Errorf("%s: #C = %d, want 2", p, p.NumCells())
+		}
+		if n := p.NumOps(); n > 1 {
+			t.Errorf("%s: #O = %d, want ≤ 1 (static space)", p, n)
+		}
+		s := p.String()
+		if seen[s] {
+			t.Errorf("duplicate two-cell FP %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTwoCellNotation(t *testing.T) {
+	w1 := W(1)
+	cfds := TwoCellFP{AggState: 0, AggOp: &w1, VictimState: 1, F: 0}
+	if got := cfds.String(); got != "<0w1; 1/0/->" {
+		t.Errorf("CFds notation = %q, want <0w1; 1/0/->", got)
+	}
+	if cfds.Classify() != CFds {
+		t.Errorf("classified %s, want CFds", cfds.Classify())
+	}
+	cfst := TwoCellFP{AggState: 1, VictimState: 0, F: 1}
+	if got := cfst.String(); got != "<1; 0/1/->" {
+		t.Errorf("CFst notation = %q, want <1; 0/1/->", got)
+	}
+	r0 := R(0)
+	cfrd := TwoCellFP{AggState: 1, VictimState: 0, VictimOp: &r0, F: 1, R: R1}
+	if cfrd.Classify() != CFrd {
+		t.Errorf("classified %s, want CFrd", cfrd.Classify())
+	}
+}
+
+func TestCFKindStrings(t *testing.T) {
+	kinds := []CFKind{CFst, CFds, CFtr, CFwd, CFrd, CFdr, CFir}
+	names := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || names[s] {
+			t.Errorf("bad or duplicate class name %q", s)
+		}
+		names[s] = true
+	}
+	if CFUnknown.String() != "?" {
+		t.Error("CFUnknown must render as ?")
+	}
+}

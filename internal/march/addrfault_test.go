@@ -1,0 +1,137 @@
+package march
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/memsim"
+)
+
+// detectsAF evaluates guarantee detection of a decoder fault over all
+// valid (x, y) pairs and order assignments.
+func detectsAF(t *testing.T, tst Test, kind memsim.AFKind) (bool, int, int) {
+	t.Helper()
+	rows, cols := 2, 2
+	n := rows * cols
+	caught, total := 0, 0
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				if kind != memsim.AFNoCell {
+					continue
+				}
+			} else if kind == memsim.AFNoCell && y != 0 {
+				continue // AF1 only needs x
+			}
+			for _, orders := range tst.OrderAssignments() {
+				arr := memsim.NewArray(rows, cols)
+				if err := arr.InjectAddressFault(kind, x, y); err != nil {
+					t.Fatalf("inject %v(%d,%d): %v", kind, x, y, err)
+				}
+				total++
+				if len(tst.Run(arr, orders)) > 0 {
+					caught++
+				}
+			}
+		}
+	}
+	return caught == total && total > 0, caught, total
+}
+
+// TestMATSPlusDetectsAddressFaults validates the published property that
+// MATS+ (5N) detects the deterministic address-decoder fault types: AF2
+// (wrong cell), AF3 (extra cell) and AF4 (shared cell).
+func TestMATSPlusDetectsAddressFaults(t *testing.T) {
+	for _, kind := range []memsim.AFKind{
+		memsim.AFWrongCell, memsim.AFExtraCell, memsim.AFSharedCell,
+	} {
+		det, caught, total := detectsAF(t, MATSPlus(), kind)
+		if !det {
+			t.Errorf("MATS+ misses %v (%d/%d)", kind, caught, total)
+		}
+	}
+}
+
+// TestAF1UndetectableUnderGuaranteeSemantics: an address that accesses
+// no cell reads X, which adversarially matches any expectation — so no
+// march test *guarantees* detection at the logic level (real AF1
+// screening relies on analog read behaviour).
+func TestAF1UndetectableUnderGuaranteeSemantics(t *testing.T) {
+	for _, tst := range []Test{MATSPlus(), MarchSS(), MarchPF()} {
+		det, caught, _ := detectsAF(t, tst, memsim.AFNoCell)
+		if det || caught != 0 {
+			t.Errorf("%s claims AF1 detection (%d caught); X-reads must be adversarial", tst.Name, caught)
+		}
+	}
+}
+
+func TestAddressFaultMechanics(t *testing.T) {
+	// AF4: addresses 1 and 2 share cell 1.
+	a := memsim.NewArray(2, 2)
+	if err := a.InjectAddressFault(memsim.AFSharedCell, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	a.Write(1, 0)
+	a.Write(2, 1) // lands in cell 1
+	if got := a.Read(1); got != 1 {
+		t.Errorf("AF4: Read(1) = %d, want 1 (aliased write)", got)
+	}
+
+	// AF2: address 0 accesses cell 3.
+	b := memsim.NewArray(2, 2)
+	if err := b.InjectAddressFault(memsim.AFWrongCell, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.Write(3, 0)
+	b.Write(0, 1) // lands in cell 3
+	if got := b.Read(3); got != 1 {
+		t.Errorf("AF2: Read(3) = %d, want 1", got)
+	}
+
+	// AF3: address 0 accesses cells 0 and 2; disagreement reads X.
+	c := memsim.NewArray(2, 2)
+	if err := c.InjectAddressFault(memsim.AFExtraCell, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(0, 1) // writes cells 0 and 2
+	if got := c.Read(2); got != 1 {
+		t.Errorf("AF3: Read(2) = %d, want 1", got)
+	}
+	c.Write(2, 0) // now cells disagree
+	if got := c.Read(0); got != memsim.X {
+		t.Errorf("AF3 disagreement: Read(0) = %d, want X", got)
+	}
+}
+
+func TestAddressFaultValidation(t *testing.T) {
+	a := memsim.NewArray(2, 2)
+	if err := a.InjectAddressFault(memsim.AFWrongCell, 1, 1); err == nil {
+		t.Error("x == y must be rejected")
+	}
+	if err := a.InjectAddressFault(memsim.AFWrongCell, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectAddressFault(memsim.AFNoCell, 2, 0); err == nil {
+		t.Error("second address fault must be rejected")
+	}
+	b := memsim.NewArray(2, 2)
+	b.MustInject(memsim.Fault{Victim: 0, FP: fp.MustParse("<1r1/0/0>")})
+	if err := b.InjectAddressFault(memsim.AFNoCell, 0, 0); err == nil {
+		t.Error("address fault combined with cell fault must be rejected")
+	}
+}
+
+func TestAFKindStrings(t *testing.T) {
+	kinds := []memsim.AFKind{
+		memsim.AFNone, memsim.AFNoCell, memsim.AFWrongCell,
+		memsim.AFExtraCell, memsim.AFSharedCell,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || seen[s] {
+			t.Errorf("bad or duplicate AF name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,12 @@
+package march
+
+import "github.com/memtest/partialfaults/internal/memsim"
+
+// dynCatalogEntries adapts the dynamic fault catalog for coverage runs.
+func dynCatalogEntries() []CatalogEntry {
+	var out []CatalogEntry
+	for _, p := range memsim.DynamicFaultCatalog() {
+		out = append(out, CatalogEntry{Name: p.String(), FP: p})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package march
+
+// el is a construction shorthand.
+func el(o Order, ops ...Op) Element { return Element{Order: o, Ops: ops} }
+
+// MATSPlus is MATS+ (5N): {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}.
+func MATSPlus() Test {
+	return Test{Name: "MATS+", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1)),
+		el(Down, R(1), W(0)),
+	}}
+}
+
+// MATSPlusPlus is MATS++ (6N): {⇕(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}.
+func MATSPlusPlus() Test {
+	return Test{Name: "MATS++", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1)),
+		el(Down, R(1), W(0), R(0)),
+	}}
+}
+
+// MarchX is March X (6N): {⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}.
+func MarchX() Test {
+	return Test{Name: "March X", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1)),
+		el(Down, R(1), W(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchY is March Y (8N): {⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)}.
+func MarchY() Test {
+	return Test{Name: "March Y", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1), R(1)),
+		el(Down, R(1), W(0), R(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchCMinus is March C- (10N):
+// {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}.
+func MarchCMinus() Test {
+	return Test{Name: "March C-", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1)),
+		el(Up, R(1), W(0)),
+		el(Down, R(0), W(1)),
+		el(Down, R(1), W(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchA is March A (15N):
+// {⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}.
+func MarchA() Test {
+	return Test{Name: "March A", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1), W(0), W(1)),
+		el(Up, R(1), W(0), W(1)),
+		el(Down, R(1), W(0), W(1), W(0)),
+		el(Down, R(0), W(1), W(0)),
+	}}
+}
+
+// MarchB is March B (17N):
+// {⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}.
+func MarchB() Test {
+	return Test{Name: "March B", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(1), R(1), W(0), R(0), W(1)),
+		el(Up, R(1), W(0), W(1)),
+		el(Down, R(1), W(0), W(1), W(0)),
+		el(Down, R(0), W(1), W(0)),
+	}}
+}
+
+// MarchSS is March SS (22N), the static simple-fault test:
+// {⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0);
+//
+//	⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)}.
+func MarchSS() Test {
+	return Test{Name: "March SS", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), R(0), W(0), R(0), W(1)),
+		el(Up, R(1), R(1), W(1), R(1), W(0)),
+		el(Down, R(0), R(0), W(0), R(0), W(1)),
+		el(Down, R(1), R(1), W(1), R(1), W(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchLR is March LR (14N), the linked-fault test:
+// {⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); ⇕(r0)}.
+func MarchLR() Test {
+	return Test{Name: "March LR", Elements: []Element{
+		el(Any, W(0)),
+		el(Down, R(0), W(1)),
+		el(Up, R(1), W(0), R(0), W(1)),
+		el(Up, R(1), W(0)),
+		el(Up, R(0), W(1), R(1), W(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchRAW is March RAW (26N), targeting read-after-write and
+// read-after-read faults (it covers WDF and DRDF, which March SS's
+// predecessors miss):
+// {⇕(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0);
+//
+//	⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); ⇕(r0)}.
+func MarchRAW() Test {
+	return Test{Name: "March RAW", Elements: []Element{
+		el(Any, W(0)),
+		el(Up, R(0), W(0), R(0), R(0), W(1), R(1)),
+		el(Up, R(1), W(1), R(1), R(1), W(0), R(0)),
+		el(Down, R(0), W(0), R(0), R(0), W(1), R(1)),
+		el(Down, R(1), W(1), R(1), R(1), W(0), R(0)),
+		el(Any, R(0)),
+	}}
+}
+
+// MarchPF is the paper's test for partial faults (16N):
+//
+//	{⇕(w0,w1); ⇕(r1,w1,w0,w0,w1,r1); ⇕(w1,w0); ⇕(r0,w0,w1,w1,w0,r0)}
+//
+// It detects all simulated and complementary partial FPs of Table 1 that
+// can be completed [Al-Ars01b].
+func MarchPF() Test {
+	return Test{Name: "March PF", Elements: []Element{
+		el(Any, W(0), W(1)),
+		el(Any, R(1), W(1), W(0), W(0), W(1), R(1)),
+		el(Any, W(1), W(0)),
+		el(Any, R(0), W(0), W(1), W(1), W(0), R(0)),
+	}}
+}
+
+// Classical returns the pre-existing tests the paper implicitly compares
+// against (they miss partial faults).
+func Classical() []Test {
+	return []Test{
+		MATSPlus(), MATSPlusPlus(), MarchX(), MarchY(),
+		MarchCMinus(), MarchA(), MarchB(), MarchLR(),
+		MarchSS(), MarchRAW(),
+	}
+}
+
+// All returns every test in the library, March PF last.
+func All() []Test { return append(Classical(), MarchPF()) }

@@ -1,0 +1,73 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a march test from its notation. Both the arrow form
+// "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}" and the paper's ASCII form
+// "{m(w0); u(r0,w1); d(r1,w0)}" are accepted.
+func Parse(name, s string) (Test, error) {
+	t := Test{Name: name}
+	body := strings.TrimSpace(s)
+	if strings.HasPrefix(body, "{") && strings.HasSuffix(body, "}") {
+		body = body[1 : len(body)-1]
+	}
+	for _, raw := range strings.Split(body, ";") {
+		chunk := strings.TrimSpace(raw)
+		if chunk == "" {
+			continue
+		}
+		e, err := parseElement(chunk)
+		if err != nil {
+			return Test{}, fmt.Errorf("march: %q: %w", chunk, err)
+		}
+		t.Elements = append(t.Elements, e)
+	}
+	if err := t.Validate(); err != nil {
+		return Test{}, err
+	}
+	return t, nil
+}
+
+// MustParse parses and panics on error.
+func MustParse(name, s string) Test {
+	t, err := Parse(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func parseElement(s string) (Element, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Element{}, fmt.Errorf("missing parentheses")
+	}
+	orderTok := strings.TrimSpace(s[:open])
+	var order Order
+	switch orderTok {
+	case "⇕", "m", "M", "b", "any":
+		order = Any
+	case "⇑", "u", "U", "up":
+		order = Up
+	case "⇓", "d", "D", "down":
+		order = Down
+	default:
+		return Element{}, fmt.Errorf("unknown order token %q", orderTok)
+	}
+	e := Element{Order: order}
+	for _, tok := range strings.Split(s[open+1:len(s)-1], ",") {
+		tok = strings.TrimSpace(tok)
+		if len(tok) != 2 || (tok[0] != 'r' && tok[0] != 'w') || (tok[1] != '0' && tok[1] != '1') {
+			return Element{}, fmt.Errorf("invalid operation %q", tok)
+		}
+		op := Op{Read: tok[0] == 'r', Data: int(tok[1] - '0')}
+		e.Ops = append(e.Ops, op)
+	}
+	if len(e.Ops) == 0 {
+		return Element{}, fmt.Errorf("empty element")
+	}
+	return e, nil
+}

@@ -1,0 +1,96 @@
+package march
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/memtest/partialfaults/internal/memsim"
+)
+
+// randomConsistentTest generates a structurally valid march test whose
+// read expectations are consistent on fault-free memory: each element
+// tracks the cell state left by the previous one.
+func randomConsistentTest(rng *rand.Rand) Test {
+	t := Test{Name: "random"}
+	state := rng.Intn(2)
+	// Initialization element.
+	t.Elements = append(t.Elements, Element{Order: Any, Ops: []Op{W(state)}})
+	nElems := 1 + rng.Intn(4)
+	for i := 0; i < nElems; i++ {
+		e := Element{Order: Order(rng.Intn(3))}
+		nOps := 1 + rng.Intn(4)
+		for j := 0; j < nOps; j++ {
+			if rng.Intn(2) == 0 {
+				e.Ops = append(e.Ops, R(state))
+			} else {
+				state = rng.Intn(2)
+				e.Ops = append(e.Ops, W(state))
+			}
+		}
+		t.Elements = append(t.Elements, e)
+	}
+	return t
+}
+
+// TestRandomMarchTestsFaultFreeProperty: any consistent march test runs
+// clean on a fault-free array, for every order assignment.
+func TestRandomMarchTestsFaultFreeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tst := randomConsistentTest(rng)
+		if err := tst.Validate(); err != nil {
+			return false
+		}
+		for _, orders := range tst.OrderAssignments() {
+			arr := memsim.NewArray(3, 3)
+			if ms := tst.Run(arr, orders); len(ms) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomTestsNotationRoundTripProperty: printing and reparsing any
+// generated test is the identity.
+func TestRandomTestsNotationRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tst := randomConsistentTest(rng)
+		parsed, err := Parse(tst.Name, tst.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == tst.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStuckAtAlwaysCaughtProperty: every test in the library whose first
+// element initializes and later reads both data values catches a plain
+// SF (stuck-at-like) fault at any position; here we check the library
+// against SF0/SF1 at random victims.
+func TestStuckAtAlwaysCaughtProperty(t *testing.T) {
+	catalog := ClassicalFaultCatalog()
+	sf := catalog[:2] // SF0, SF1
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tst := All()[rng.Intn(len(All()))]
+		e := sf[rng.Intn(2)]
+		victim := rng.Intn(9)
+		arr := memsim.NewArray(3, 3)
+		if err := arr.Inject(e.Make(victim)); err != nil {
+			return false
+		}
+		return len(tst.Run(arr, nil)) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

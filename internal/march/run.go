@@ -1,0 +1,109 @@
+package march
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/memsim"
+)
+
+// Mismatch is one failing read observed while running a test.
+type Mismatch struct {
+	// Element and OpIndex locate the failing operation in the test.
+	Element, OpIndex int
+	// Addr is the failing address.
+	Addr int
+	// Expected and Got are the read values.
+	Expected, Got int
+}
+
+// String renders a compact diagnostic.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("element %d op %d @%d: expected %d, got %d", m.Element, m.OpIndex, m.Addr, m.Expected, m.Got)
+}
+
+// Run executes the test on the array. anyOrders fixes the concrete order
+// of each ⇕ element (indexed by occurrence; missing entries default to
+// Up). It returns every read mismatch.
+func (t Test) Run(arr *memsim.Array, anyOrders []Order) []Mismatch {
+	var out []Mismatch
+	anyIdx := 0
+	for ei, e := range t.Elements {
+		order := e.Order
+		if order == Any {
+			order = Up
+			if anyIdx < len(anyOrders) && anyOrders[anyIdx] == Down {
+				order = Down
+			}
+			anyIdx++
+		}
+		n := arr.Size()
+		for k := 0; k < n; k++ {
+			addr := k
+			if order == Down {
+				addr = n - 1 - k
+			}
+			for oi, op := range e.Ops {
+				if !op.Read {
+					arr.Write(addr, op.Data)
+					continue
+				}
+				got := arr.Read(addr)
+				// Unknown reads are adversarially assumed to match: a
+				// test only *guarantees* detection via known values.
+				if got != memsim.X && got != op.Data {
+					out = append(out, Mismatch{Element: ei, OpIndex: oi, Addr: addr, Expected: op.Data, Got: got})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OrderAssignments enumerates all 2^k concrete order choices for the
+// test's ⇕ elements.
+func (t Test) OrderAssignments() [][]Order {
+	k := len(t.AnyElements())
+	total := 1 << k
+	out := make([][]Order, 0, total)
+	for mask := 0; mask < total; mask++ {
+		orders := make([]Order, k)
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				orders[b] = Down
+			} else {
+				orders[b] = Up
+			}
+		}
+		out = append(out, orders)
+	}
+	return out
+}
+
+// Detects reports whether the test *guarantees* detection of the fault
+// family produced by mk: for every victim address in a rows×cols array
+// and every ⇕-order assignment, running the test on a fresh array with
+// mk(victim) injected yields at least one mismatch.
+//
+// The first return is the guarantee; the second counts (victim, order)
+// scenarios in which the fault was caught, out of the third (total
+// scenarios) — a partial-detection measure.
+func Detects(t Test, rows, cols int, mk func(victim int) memsim.Fault) (bool, int, int, error) {
+	if err := t.Validate(); err != nil {
+		return false, 0, 0, err
+	}
+	assignments := t.OrderAssignments()
+	caught, total := 0, 0
+	for victim := 0; victim < rows*cols; victim++ {
+		for _, orders := range assignments {
+			arr := memsim.NewArray(rows, cols)
+			if err := arr.Inject(mk(victim)); err != nil {
+				return false, 0, 0, err
+			}
+			total++
+			if len(t.Run(arr, orders)) > 0 {
+				caught++
+			}
+		}
+	}
+	return caught == total && total > 0, caught, total, nil
+}

@@ -1,0 +1,69 @@
+package march
+
+import (
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/memsim"
+)
+
+// DetectsTwoCell reports whether the test guarantees detection of a
+// coupling fault family: for every distinct (victim, aggressor) pair in
+// a rows×cols array and every ⇕-order assignment, the test run yields at
+// least one mismatch.
+func DetectsTwoCell(t Test, rows, cols int, p fp.TwoCellFP) (bool, int, int, error) {
+	if err := t.Validate(); err != nil {
+		return false, 0, 0, err
+	}
+	assignments := t.OrderAssignments()
+	caught, total := 0, 0
+	n := rows * cols
+	for victim := 0; victim < n; victim++ {
+		for aggressor := 0; aggressor < n; aggressor++ {
+			if victim == aggressor {
+				continue
+			}
+			for _, orders := range assignments {
+				arr := memsim.NewArray(rows, cols)
+				if err := arr.InjectTwoCell(memsim.TwoCellFault{
+					Victim: victim, Aggressor: aggressor, FP: p,
+				}); err != nil {
+					return false, 0, 0, err
+				}
+				total++
+				if len(t.Run(arr, orders)) > 0 {
+					caught++
+				}
+			}
+		}
+	}
+	return caught == total && total > 0, caught, total, nil
+}
+
+// TwoCellCoverage summarizes a test's guaranteed coverage of the full
+// static two-cell FP space, grouped by coupling-fault class.
+type TwoCellCoverage struct {
+	// Detected and Total count FPs per class.
+	Detected, Total map[fp.CFKind]int
+	// DetectedAll is the number of FPs detected out of the 36.
+	DetectedAll int
+}
+
+// EvaluateTwoCellCoverage runs a test against all 36 static two-cell FPs.
+func EvaluateTwoCellCoverage(t Test, rows, cols int) (TwoCellCoverage, error) {
+	cov := TwoCellCoverage{
+		Detected: map[fp.CFKind]int{},
+		Total:    map[fp.CFKind]int{},
+	}
+	for _, p := range fp.EnumerateTwoCellStaticFPs() {
+		kind := p.Classify()
+		cov.Total[kind]++
+		det, _, _, err := DetectsTwoCell(t, rows, cols, p)
+		if err != nil {
+			return cov, err
+		}
+		if det {
+			cov.Detected[kind]++
+			cov.DetectedAll++
+		}
+	}
+	return cov, nil
+}

@@ -1,0 +1,130 @@
+package memsim
+
+import "fmt"
+
+// Address-decoder faults (AFs). The classical taxonomy [vdGoor98] has
+// four types:
+//
+//	AF1: an address accesses no cell
+//	AF2: an address accesses a different cell than intended
+//	AF3: an address accesses multiple cells
+//	AF4: multiple addresses access the same cell
+//
+// They are modeled here as a remapping layer from addresses to cell
+// sets. Writes drive every mapped cell; reads return the common value of
+// the mapped cells, or X (adversarial) when they disagree or the set is
+// empty. Under guarantee semantics AF1 is therefore undetectable (its
+// reads can always "happen" to return the expected value), matching the
+// fact that real AF1 detection relies on analog read behaviour, not
+// logic values.
+
+// AFKind enumerates the decoder-fault types.
+type AFKind int
+
+// The decoder-fault types.
+const (
+	// AFNone is the healthy identity mapping.
+	AFNone AFKind = iota
+	// AFNoCell: address X accesses no cell (AF1).
+	AFNoCell
+	// AFWrongCell: address X accesses cell Y instead of cell X (AF2).
+	AFWrongCell
+	// AFExtraCell: address X accesses both cell X and cell Y (AF3).
+	AFExtraCell
+	// AFSharedCell: addresses X and Y both access cell X only (AF4).
+	AFSharedCell
+)
+
+// String names the kind.
+func (k AFKind) String() string {
+	switch k {
+	case AFNone:
+		return "none"
+	case AFNoCell:
+		return "AF1 (no cell)"
+	case AFWrongCell:
+		return "AF2 (wrong cell)"
+	case AFExtraCell:
+		return "AF3 (extra cell)"
+	case AFSharedCell:
+		return "AF4 (shared cell)"
+	}
+	return "?"
+}
+
+// InjectAddressFault installs a decoder fault involving addresses x and
+// (for the kinds that need one) y. Only one address fault may be
+// installed per array, and address faults may not be combined with cell
+// faults (the classical decomposition analyzes them separately).
+func (a *Array) InjectAddressFault(kind AFKind, x, y int) error {
+	a.check(x)
+	if a.remap != nil {
+		return fmt.Errorf("memsim: an address fault is already installed")
+	}
+	if len(a.faults) > 0 || len(a.cfaults) > 0 {
+		return fmt.Errorf("memsim: address faults cannot be combined with cell faults")
+	}
+	needY := kind == AFWrongCell || kind == AFExtraCell || kind == AFSharedCell
+	if needY {
+		a.check(y)
+		if x == y {
+			return fmt.Errorf("memsim: address fault requires distinct x and y")
+		}
+	}
+	a.remap = map[int][]int{}
+	switch kind {
+	case AFNoCell:
+		a.remap[x] = []int{}
+	case AFWrongCell:
+		a.remap[x] = []int{y}
+	case AFExtraCell:
+		a.remap[x] = []int{x, y}
+	case AFSharedCell:
+		a.remap[x] = []int{x}
+		a.remap[y] = []int{x}
+	default:
+		return fmt.Errorf("memsim: invalid address-fault kind %v", kind)
+	}
+	return nil
+}
+
+// remappedWrite handles a write under an installed decoder fault and
+// reports whether it applied (false = identity mapping for this addr).
+func (a *Array) remappedWrite(addr, bit int) bool {
+	if a.remap == nil {
+		return false
+	}
+	t, ok := a.remap[addr]
+	if !ok {
+		return false
+	}
+	for _, c := range t {
+		a.cells[c] = bit
+	}
+	// The bit line / IO state of the addressed column is still driven.
+	a.blState[a.Column(addr)] = bit
+	a.ioState = bit
+	return true
+}
+
+// remappedRead handles a read under an installed decoder fault; the
+// second result reports whether it applied.
+func (a *Array) remappedRead(addr int) (int, bool) {
+	if a.remap == nil {
+		return 0, false
+	}
+	t, ok := a.remap[addr]
+	if !ok {
+		return 0, false
+	}
+	if len(t) == 0 {
+		return X, true // no cell: adversarially unknown
+	}
+	v := a.cells[t[0]]
+	for _, c := range t[1:] {
+		if a.cells[c] != v {
+			return X, true // disagreeing cells: unknown
+		}
+	}
+	return v, true
+}

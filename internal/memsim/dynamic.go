@@ -1,0 +1,66 @@
+package memsim
+
+import "github.com/memtest/partialfaults/internal/fp"
+
+// Dynamic (two-operation) single-cell faults: FPs whose SOS performs two
+// back-to-back operations on the victim, e.g. <0w0r0/1/1> — the read
+// fails only when performed immediately after the write. These are the
+// #O = 2 FPs of the paper's Section 4 space; march tests need same-
+// address operation pairs (like March RAW's) to sensitize them.
+//
+// Adjacency semantics: the pair must be uninterrupted — the sensitizing
+// final operation fires only if the immediately preceding operation on
+// the whole memory was the first operation of the pair, applied to the
+// victim. Any intervening access (even to another cell) resets the
+// internal state, which is how the defect physics behaves: the pair
+// exploits a not-yet-settled internal node, and an intervening operation
+// cycle (with its precharge) settles it.
+
+// lastOp records the most recent operation for adjacency checks.
+type lastOp struct {
+	valid bool
+	addr  int
+	write bool
+	data  int
+	// preState is the addressed cell's value before the operation, which
+	// distinguishes transition from non-transition first operations.
+	preState int
+}
+
+// dynFirst describes the first operation of a dynamic pair.
+type dynFirst struct {
+	write bool
+	data  int
+	// pre is the victim state the SOS requires before the first
+	// operation (X when unconstrained).
+	pre int
+}
+
+// matches checks the recorded previous operation against the spec.
+func (d *dynFirst) matches(prev lastOp, victim int) bool {
+	if !prev.valid || prev.addr != victim || prev.write != d.write || prev.data != d.data {
+		return false
+	}
+	return d.pre == X || prev.preState == d.pre
+}
+
+// DynamicFaultCatalog returns the twelve write-read dynamic FPs
+// (<x wy ry / F / R> for all x, y and faulty outcomes) as injectable
+// catalog descriptors, labeled by their notation.
+func DynamicFaultCatalog() []fp.FP {
+	var out []fp.FP
+	for _, init := range []fp.Init{fp.Init0, fp.Init1} {
+		for _, w := range []int{0, 1} {
+			sos := fp.NewSOS(init, fp.W(w), fp.R(w))
+			for _, f := range []int{0, 1} {
+				for _, r := range []int{0, 1} {
+					if f == w && r == w {
+						continue // fault-free
+					}
+					out = append(out, fp.FP{S: sos, F: f, R: fp.ReadResultOf(r)})
+				}
+			}
+		}
+	}
+	return out
+}

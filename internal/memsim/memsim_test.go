@@ -1,0 +1,281 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+func TestFaultFreeRoundTrip(t *testing.T) {
+	a := NewArray(4, 4)
+	for addr := 0; addr < a.Size(); addr++ {
+		a.Write(addr, addr%2)
+	}
+	for addr := 0; addr < a.Size(); addr++ {
+		if got := a.Read(addr); got != addr%2 {
+			t.Errorf("addr %d: read %d, want %d", addr, got, addr%2)
+		}
+	}
+}
+
+func TestUnknownCellsReadX(t *testing.T) {
+	a := NewArray(2, 2)
+	if got := a.Read(0); got != X {
+		t.Errorf("unwritten cell read %d, want X", got)
+	}
+}
+
+// TestFaultFreeRandomProperty: without faults the array is a perfect
+// memory under arbitrary operation sequences.
+func TestFaultFreeRandomProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewArray(3, 3)
+		ref := make([]int, a.Size())
+		for i := range ref {
+			ref[i] = X
+		}
+		for i := 0; i < 200; i++ {
+			addr := rng.Intn(a.Size())
+			if rng.Intn(2) == 0 {
+				b := rng.Intn(2)
+				a.Write(addr, b)
+				ref[addr] = b
+			} else if got := a.Read(addr); got != ref[addr] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	a := NewArray(4, 4)
+	if !a.SameBitLine(1, 5) || a.SameBitLine(0, 1) {
+		t.Error("bit-line topology wrong: column = addr mod cols")
+	}
+	if a.Column(7) != 3 {
+		t.Errorf("Column(7) = %d, want 3", a.Column(7))
+	}
+}
+
+func TestPlainRDF1Fires(t *testing.T) {
+	a := NewArray(2, 2)
+	a.MustInject(Fault{Victim: 1, FP: fp.MustParse("<1r1/0/0>")})
+	a.Write(1, 1)
+	if got := a.Read(1); got != 0 {
+		t.Errorf("RDF1 read = %d, want 0", got)
+	}
+	if a.Cell(1) != 0 {
+		t.Error("RDF1 must destroy the cell")
+	}
+	// Re-reading the now-0 cell is healthy.
+	if got := a.Read(1); got != 0 {
+		t.Errorf("second read = %d, want 0", got)
+	}
+}
+
+func TestPlainWDF0AndTF(t *testing.T) {
+	a := NewArray(2, 2)
+	a.MustInject(Fault{Victim: 0, FP: fp.MustParse("<0w0/1/->")})
+	a.Write(0, 1)
+	a.Write(0, 0) // 1w0 — not the WDF0 context (needs state 0)
+	if a.Cell(0) != 0 {
+		t.Error("1w0 must not trigger WDF0")
+	}
+	a.Write(0, 0) // 0w0 — fires
+	if a.Cell(0) != 1 {
+		t.Error("0w0 must trigger WDF0 (cell flips to 1)")
+	}
+
+	b := NewArray(2, 2)
+	b.MustInject(Fault{Victim: 0, FP: fp.MustParse("<0w1/0/->")})
+	b.Write(0, 0)
+	b.Write(0, 1) // up-transition fails
+	if b.Cell(0) != 0 {
+		t.Error("TF↑ must keep the cell at 0")
+	}
+}
+
+func TestPlainIRFKeepsCell(t *testing.T) {
+	a := NewArray(2, 2)
+	a.MustInject(Fault{Victim: 0, FP: fp.MustParse("<0r0/0/1>")})
+	a.Write(0, 0)
+	if got := a.Read(0); got != 1 {
+		t.Errorf("IRF0 read = %d, want 1", got)
+	}
+	if a.Cell(0) != 0 {
+		t.Error("IRF0 must not change the cell")
+	}
+}
+
+func TestPlainSFFlipsAfterOperation(t *testing.T) {
+	a := NewArray(2, 2)
+	a.MustInject(Fault{Victim: 0, FP: fp.MustParse("<1/0/->")})
+	a.Write(0, 1) // initializes; the SF acts after the operation
+	if a.Cell(0) != 0 {
+		t.Error("SF1 must decay the stored 1")
+	}
+	if got := a.Read(0); got != 0 {
+		t.Errorf("read after SF1 = %d, want 0", got)
+	}
+}
+
+func TestPartialRDF1BitLineMediation(t *testing.T) {
+	// <1v [w0BL] r1v/0/0>: fires only when the last operation on the
+	// victim's bit line drove 0.
+	mkArr := func() *Array {
+		a := NewArray(4, 1) // single column: everything shares the BL
+		a.MustInject(Fault{Victim: 2, FP: fp.MustParse("<1v [w0BL] r1v/0/0>"), Float: defect.FloatBitLine})
+		return a
+	}
+
+	// The paper's Section 1 point: {m(w1,r1)} does NOT detect it — the
+	// w1 preconditions the bit line high.
+	a := mkArr()
+	a.Write(2, 1)
+	if got := a.Read(2); got != 1 {
+		t.Errorf("w1,r1 read = %d; the partial fault must NOT fire (BL preconditioned high)", got)
+	}
+
+	// With the completing w0 to another cell on the BL, it fires.
+	b := mkArr()
+	b.Write(2, 1)
+	b.Write(0, 0) // completing operation on the same bit line
+	if got := b.Read(2); got != 0 {
+		t.Errorf("completed read = %d, want 0 (fault fired)", got)
+	}
+	if b.Cell(2) != 0 {
+		t.Error("fired RDF1 must destroy the victim")
+	}
+
+	// An intervening 1-driving operation on the bit line disarms it.
+	c := mkArr()
+	c.Write(2, 1)
+	c.Write(0, 0)
+	c.Write(1, 1) // drives the BL back high
+	if got := c.Read(2); got != 1 {
+		t.Errorf("disarmed read = %d, want 1", got)
+	}
+
+	// Operations in a different column do not arm the fault.
+	d := NewArray(4, 2)
+	d.MustInject(Fault{Victim: 2, FP: fp.MustParse("<1v [w0BL] r1v/0/0>"), Float: defect.FloatBitLine})
+	d.Write(2, 1)
+	d.Write(1, 0) // column 1; victim 2 is in column 0
+	if got := d.Read(2); got != 1 {
+		t.Errorf("cross-column read = %d, want 1 (different bit line)", got)
+	}
+}
+
+func TestPartialReadArmsViaRestore(t *testing.T) {
+	// A read restores its value onto the bit line, so r0 of a neighbour
+	// also arms a [w0BL]-mediated fault.
+	a := NewArray(4, 1)
+	a.MustInject(Fault{Victim: 2, FP: fp.MustParse("<1v [w0BL] r1v/0/0>"), Float: defect.FloatBitLine})
+	a.Write(0, 0)
+	a.Write(2, 1)
+	if a.Read(0) != 0 { // restores 0 onto the BL
+		t.Fatal("setup read failed")
+	}
+	if got := a.Read(2); got != 0 {
+		t.Errorf("read after neighbour r0 = %d, want 0 (armed by restore)", got)
+	}
+}
+
+func TestPartialVictimSequenceMediation(t *testing.T) {
+	// <[w1 w1 w0] r0/1/1> (Open 1): fires only when the victim's own
+	// recent operations were exactly w1,w1,w0.
+	mk := func() *Array {
+		a := NewArray(2, 2)
+		a.MustInject(Fault{Victim: 0, FP: fp.MustParse("<[w1 w1 w0] r0/1/1>"), Float: defect.FloatMemoryCell})
+		return a
+	}
+	a := mk()
+	a.Write(0, 0)
+	if got := a.Read(0); got != 0 {
+		t.Errorf("plain w0,r0 = %d; must not fire without the sequence", got)
+	}
+	b := mk()
+	b.Write(0, 1)
+	b.Write(0, 1)
+	b.Write(0, 0)
+	if got := b.Read(0); got != 1 {
+		t.Errorf("after w1,w1,w0: read = %d, want 1 (fired)", got)
+	}
+	if b.Cell(0) != 1 {
+		t.Error("fired RDF0 must flip the victim to 1")
+	}
+	// A single w1 is not enough.
+	c := mk()
+	c.Write(0, 1)
+	c.Write(0, 0)
+	if got := c.Read(0); got != 0 {
+		t.Errorf("after w1,w0: read = %d, want 0 (not armed)", got)
+	}
+}
+
+func TestOutputBufferMediation(t *testing.T) {
+	// <0v [w1BL] r0v/0/1> via output buffer: armed by ANY operation that
+	// drove 1 through the IO path, even in another column.
+	a := NewArray(4, 2)
+	a.MustInject(Fault{Victim: 0, FP: fp.MustParse("<0v [w1BL] r0v/0/1>"), Float: defect.FloatOutBuffer})
+	a.Write(0, 0)
+	a.Write(3, 1) // different column, but drives the shared IO path
+	if got := a.Read(0); got != 1 {
+		t.Errorf("read = %d, want 1 (stale output buffer)", got)
+	}
+	if a.Cell(0) != 0 {
+		t.Error("IRF must keep the cell intact")
+	}
+}
+
+func TestUncompletableNeverFires(t *testing.T) {
+	a := NewArray(4, 1)
+	a.MustInject(Fault{Victim: 1, FP: fp.MustParse("<0/1/->"), Float: defect.FloatWordLine, Uncompletable: true})
+	a.Write(1, 0)
+	for i := 0; i < 5; i++ {
+		a.Write(0, i%2)
+		if got := a.Read(1); got != 0 {
+			t.Fatalf("uncompletable SF fired (read %d); adversarial semantics must never trigger it", got)
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	a := NewArray(2, 2)
+	// FPs with more than two sensitizing operations are not injectable.
+	bad := fp.FP{S: fp.NewSOS(fp.Init0, fp.W(1), fp.W(0), fp.R(0)), F: 1, R: fp.R1}
+	if err := a.Inject(Fault{Victim: 0, FP: bad}); err == nil {
+		t.Error("three-op FP injection must fail")
+	}
+	// Mixed completing targets are rejected.
+	mixed := fp.FP{S: fp.NewSOS(fp.Init1, fp.CWBL(0), fp.CW(1), fp.R(1)), F: 0, R: fp.R0}
+	if err := a.Inject(Fault{Victim: 0, FP: mixed}); err == nil {
+		t.Error("mixed completing targets must fail")
+	}
+}
+
+func TestArrayPanics(t *testing.T) {
+	a := NewArray(2, 2)
+	for name, fn := range map[string]func(){
+		"addr":    func() { a.Read(99) },
+		"data":    func() { a.Write(0, 7) },
+		"badgeom": func() { NewArray(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package memsim
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// TwoCellFault injects a static coupling fault primitive between an
+// aggressor and a victim cell.
+type TwoCellFault struct {
+	// Victim and Aggressor are distinct cell addresses.
+	Victim, Aggressor int
+	// FP is the two-cell fault primitive.
+	FP fp.TwoCellFP
+}
+
+// cfault is the compiled coupling fault.
+type cfault struct {
+	victim, aggressor int
+	p                 fp.TwoCellFP
+	kind              fp.CFKind
+}
+
+// InjectTwoCell compiles and adds a coupling fault to the array.
+func (a *Array) InjectTwoCell(f TwoCellFault) error {
+	a.check(f.Victim)
+	a.check(f.Aggressor)
+	if f.Victim == f.Aggressor {
+		return fmt.Errorf("memsim: victim and aggressor must differ")
+	}
+	kind := f.FP.Classify()
+	if kind == fp.CFUnknown {
+		return fmt.Errorf("memsim: %s is not a valid static two-cell FP", f.FP)
+	}
+	a.cfaults = append(a.cfaults, &cfault{
+		victim: f.Victim, aggressor: f.Aggressor, p: f.FP, kind: kind,
+	})
+	return nil
+}
+
+// MustInjectTwoCell injects and panics on error.
+func (a *Array) MustInjectTwoCell(f TwoCellFault) {
+	if err := a.InjectTwoCell(f); err != nil {
+		panic(err)
+	}
+}
+
+// aggMatches checks the aggressor-state precondition.
+func (c *cfault) aggMatches(a *Array) bool {
+	return a.cells[c.aggressor] == c.p.AggState
+}
+
+// fireAggressorOp evaluates an operation on the aggressor (CFds).
+func (c *cfault) fireAggressorOp(a *Array, addr int, write bool, data, preState int) {
+	if c.kind != fp.CFds || addr != c.aggressor || c.p.AggOp == nil {
+		return
+	}
+	op := c.p.AggOp
+	if (op.Kind == fp.OpWrite) != write {
+		return
+	}
+	if preState != c.p.AggState {
+		return
+	}
+	if op.Kind == fp.OpWrite && op.Data != data {
+		return
+	}
+	if op.Kind == fp.OpRead && preState != op.Data {
+		return
+	}
+	if a.cells[c.victim] == c.p.VictimState {
+		a.cells[c.victim] = c.p.F
+	}
+}
+
+// fireVictimWrite evaluates a write to the victim (CFtr / CFwd),
+// returning the state the victim assumes and whether the fault fired.
+func (c *cfault) fireVictimWrite(a *Array, addr, bit int) (int, bool) {
+	if (c.kind != fp.CFtr && c.kind != fp.CFwd) || addr != c.victim || c.p.VictimOp == nil {
+		return 0, false
+	}
+	if c.p.VictimOp.Data != bit || a.cells[c.victim] != c.p.VictimState || !c.aggMatches(a) {
+		return 0, false
+	}
+	return c.p.F, true
+}
+
+// fireVictimRead evaluates a read of the victim (CFrd / CFdr / CFir).
+func (c *cfault) fireVictimRead(a *Array, addr, stored int) (newF, newR int, hit bool) {
+	switch c.kind {
+	case fp.CFrd, fp.CFdr, fp.CFir:
+	default:
+		return 0, 0, false
+	}
+	if addr != c.victim || c.p.VictimOp == nil {
+		return 0, 0, false
+	}
+	if stored != c.p.VictimOp.Data || stored != c.p.VictimState || !c.aggMatches(a) {
+		return 0, 0, false
+	}
+	r, _ := c.p.R.Bit()
+	return c.p.F, r, true
+}
+
+// fireState applies CFst after any operation period.
+func (c *cfault) fireState(a *Array) {
+	if c.kind != fp.CFst {
+		return
+	}
+	if c.aggMatches(a) && a.cells[c.victim] == c.p.VictimState {
+		a.cells[c.victim] = c.p.F
+	}
+}

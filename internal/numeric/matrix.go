@@ -1,0 +1,109 @@
+// Package numeric provides the small dense linear-algebra kernel used by
+// the circuit simulator: dense matrices, LU factorization with partial
+// pivoting, and vector helpers.
+//
+// The modified-nodal-analysis (MNA) systems produced by the DRAM column
+// netlists in this repository are small (tens of unknowns), so a dense
+// solver with partial pivoting is both simple and fast enough; sparse
+// storage would only add complexity at this scale.
+package numeric
+
+import "fmt"
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+// It panics if rows or cols is not positive.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("numeric: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j. MNA stamping is additive,
+// so this is the primitive the circuit stamps use.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+// Zero resets all elements to zero, keeping the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom overwrites m with the contents of src.
+// It panics if the dimensions differ.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic("numeric: CopyFrom dimension mismatch")
+	}
+	copy(m.data, src.data)
+}
+
+// MulVec computes y = m·x. It panics on dimension mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("numeric: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s += fmt.Sprintf("% .6g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("numeric: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}

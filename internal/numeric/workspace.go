@@ -1,0 +1,103 @@
+package numeric
+
+import "math"
+
+// Workspace is a reusable LU solve buffer for repeated factorizations of
+// same-sized systems, as a Newton loop performs every iteration. It works
+// on the matrix's raw storage to avoid per-element bounds checks and
+// allocates nothing after construction.
+type Workspace struct {
+	n    int
+	lu   []float64
+	pivx []int
+	perm []float64
+}
+
+// NewWorkspace creates a workspace for n×n systems.
+func NewWorkspace(n int) *Workspace {
+	if n <= 0 {
+		panic("numeric: workspace size must be positive")
+	}
+	return &Workspace{
+		n:    n,
+		lu:   make([]float64, n*n),
+		pivx: make([]int, n),
+		perm: make([]float64, n),
+	}
+}
+
+// Factorize copies the square matrix a into the workspace and LU-factorizes
+// it in place with partial pivoting.
+func (w *Workspace) Factorize(a *Matrix) error {
+	n := w.n
+	if a.Rows() != n || a.Cols() != n {
+		panic("numeric: workspace dimension mismatch")
+	}
+	copy(w.lu, a.data)
+	lu := w.lu
+	for i := range w.pivx {
+		w.pivx[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, max := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return ErrSingular
+		}
+		if p != k {
+			rp, rk := lu[p*n:p*n+n], lu[k*n:k*n+n]
+			for c := range rp {
+				rp[c], rk[c] = rk[c], rp[c]
+			}
+			w.pivx[p], w.pivx[k] = w.pivx[k], w.pivx[p]
+		}
+		pivot := lu[k*n+k]
+		rowK := lu[k*n : k*n+n]
+		for i := k + 1; i < n; i++ {
+			rowI := lu[i*n : i*n+n]
+			m := rowI[k] / pivot
+			rowI[k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve writes the solution of the factorized system for right-hand side
+// b into x. b and x may alias. It panics on length mismatch.
+func (w *Workspace) Solve(b, x []float64) {
+	n := w.n
+	if len(b) != n || len(x) != n {
+		panic("numeric: workspace Solve dimension mismatch")
+	}
+	lu := w.lu
+	for i := 0; i < n; i++ {
+		w.perm[i] = b[w.pivx[i]]
+	}
+	copy(x, w.perm)
+	for i := 1; i < n; i++ {
+		row := lu[i*n : i*n+n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := lu[i*n : i*n+n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+}

@@ -1,0 +1,95 @@
+package numeric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkspaceMatchesFactorize(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomDiagDominant(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		want, err := SolveSystem(a, b)
+		if err != nil {
+			return false
+		}
+		ws := NewWorkspace(n)
+		if err := ws.Factorize(a); err != nil {
+			return false
+		}
+		got := make([]float64, n)
+		ws.Solve(b, got)
+		return MaxAbsDiff(got, want) < 1e-10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ws := NewWorkspace(6)
+	for trial := 0; trial < 5; trial++ {
+		a := randomDiagDominant(rng, 6)
+		b := make([]float64, 6)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		if err := ws.Factorize(a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := make([]float64, 6)
+		ws.Solve(b, x)
+		if MaxAbsDiff(a.MulVec(x), b) > 1e-9 {
+			t.Errorf("trial %d: residual too large", trial)
+		}
+	}
+}
+
+func TestWorkspaceSingular(t *testing.T) {
+	ws := NewWorkspace(2)
+	if err := ws.Factorize(NewMatrix(2, 2)); err != ErrSingular {
+		t.Errorf("Factorize(zero) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestWorkspaceDimensionMismatchPanics(t *testing.T) {
+	ws := NewWorkspace(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	_ = ws.Factorize(NewMatrix(2, 2))
+}
+
+func BenchmarkWorkspaceFactorize50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 50)
+	ws := NewWorkspace(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ws.Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFactorizeAlloc50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

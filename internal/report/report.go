@@ -1,0 +1,161 @@
+// Package report renders analysis results for humans and harnesses:
+// ASCII (R_def, U) region maps in the style of the paper's Figures 3
+// and 4, markdown renderings of the Table 1 inventory, march coverage
+// matrices, and CSV export.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/march"
+)
+
+// ffmGlyphs maps FFMs to single-character map glyphs.
+var ffmGlyphs = map[fp.FFM]byte{
+	fp.SF0: 'S', fp.SF1: 's',
+	fp.TFUp: 'T', fp.TFDown: 't',
+	fp.WDF0: 'W', fp.WDF1: 'w',
+	fp.RDF0: 'R', fp.RDF1: 'r',
+	fp.DRDF0: 'D', fp.DRDF1: 'd',
+	fp.IRF0: 'I', fp.IRF1: 'i',
+}
+
+// Glyph returns the map character for a point: '.' healthy, a letter for
+// each FFM, '?' for unclassified faulty behaviour.
+func Glyph(pt analysis.Point) byte {
+	if !pt.Faulty {
+		return '.'
+	}
+	if g, ok := ffmGlyphs[pt.FFM]; ok {
+		return g
+	}
+	return '?'
+}
+
+// WritePlane renders a plane as an ASCII region map: rows are R_def
+// values (largest on top, like the paper's log axis), columns are U
+// values, one glyph per point, with a legend of observed FFMs.
+func WritePlane(w io.Writer, p *analysis.Plane) error {
+	if _, err := fmt.Fprintf(w, "%s / %s — SOS %q\n", p.Open.Name(), p.Float.Var, p.SOS.String()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s U[V]:", "R_def[kΩ]"); err != nil {
+		return err
+	}
+	for _, u := range p.Us {
+		if _, err := fmt.Fprintf(w, " %4.1f", u); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := len(p.RDefs) - 1; i >= 0; i-- {
+		if _, err := fmt.Fprintf(w, "%-17.4g ", p.RDefs[i]/1e3); err != nil {
+			return err
+		}
+		for j := range p.Us {
+			if _, err := fmt.Fprintf(w, " %c   ", Glyph(p.Points[i][j])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if ffms := p.FFMs(); len(ffms) > 0 {
+		var legend []string
+		for _, f := range ffms {
+			legend = append(legend, fmt.Sprintf("%c=%s", ffmGlyphs[f], f))
+		}
+		if _, err := fmt.Fprintf(w, "legend: %s ('.'=no fault)\n", strings.Join(legend, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePlaneCSV emits the plane as CSV rows: rdef_ohm,u_volt,ffm.
+func WritePlaneCSV(w io.Writer, p *analysis.Plane) error {
+	if _, err := fmt.Fprintln(w, "rdef_ohm,u_volt,faulty,ffm,fp"); err != nil {
+		return err
+	}
+	for i := range p.RDefs {
+		for j := range p.Us {
+			pt := p.Points[i][j]
+			ffm, fpStr := "", ""
+			if pt.Faulty {
+				ffm = pt.FFM.String()
+				fpStr = pt.FP.String()
+			}
+			if _, err := fmt.Fprintf(w, "%.6g,%.4g,%v,%s,%q\n", pt.RDef, pt.U, pt.Faulty, ffm, fpStr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteInventory renders the partial-fault inventory as a markdown table
+// in the paper's Table 1 layout.
+func WriteInventory(w io.Writer, rows []analysis.Row) error {
+	if _, err := fmt.Fprintln(w, "| Sim. FFM | Com. FFM | Open | Completed FP | Initialized volt. |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | `%s` | %s |\n",
+			r.SimFFM, r.ComFFM, r.Open.Name(), r.CompletedString(), r.Float); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCoverage renders a march coverage matrix as markdown: one row per
+// fault, one column per test.
+func WriteCoverage(w io.Writer, results []march.CoverageResult, tests []string) error {
+	byFault := map[string]map[string]march.CoverageResult{}
+	var faultOrder []string
+	for _, r := range results {
+		m, ok := byFault[r.Fault]
+		if !ok {
+			m = map[string]march.CoverageResult{}
+			byFault[r.Fault] = m
+			faultOrder = append(faultOrder, r.Fault)
+		}
+		m[r.Test] = r
+	}
+	if _, err := fmt.Fprintf(w, "| Fault | %s |\n", strings.Join(tests, " | ")); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(tests))); err != nil {
+		return err
+	}
+	for _, f := range faultOrder {
+		cells := make([]string, 0, len(tests))
+		for _, t := range tests {
+			r, ok := byFault[f][t]
+			switch {
+			case !ok:
+				cells = append(cells, "–")
+			case r.Detected:
+				cells = append(cells, "✓")
+			case r.Caught > 0:
+				cells = append(cells, fmt.Sprintf("%d/%d", r.Caught, r.Scenarios))
+			default:
+				cells = append(cells, "✗")
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s |\n", f, strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/march"
+)
+
+func testPlane() *analysis.Plane {
+	o, _ := defect.ByID(4)
+	grp, _ := o.Float(defect.FloatBitLine)
+	p := &analysis.Plane{
+		Open: o, Float: grp,
+		SOS:   fp.NewSOS(fp.Init1, fp.R(1)),
+		RDefs: []float64{1e3, 1e6},
+		Us:    []float64{0, 3.3},
+	}
+	p.Points = [][]analysis.Point{
+		{{RDef: 1e3, U: 0}, {RDef: 1e3, U: 3.3}},
+		{
+			{RDef: 1e6, U: 0, Faulty: true, FP: fp.MustParse("<1r1/0/0>"), FFM: fp.RDF1},
+			{RDef: 1e6, U: 3.3},
+		},
+	}
+	return p
+}
+
+func TestWritePlane(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlane(&buf, testPlane()); err != nil {
+		t.Fatalf("WritePlane: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Open 4", "r", ".", "legend", "RDF1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plane output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePlaneCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlaneCSV(&buf, testPlane()); err != nil {
+		t.Fatalf("WritePlaneCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 points
+		t.Fatalf("CSV has %d lines, want 5", len(lines))
+	}
+	if !strings.Contains(buf.String(), "RDF1") {
+		t.Error("CSV missing FFM column value")
+	}
+}
+
+func TestGlyphs(t *testing.T) {
+	if g := Glyph(analysis.Point{}); g != '.' {
+		t.Errorf("healthy glyph = %c, want .", g)
+	}
+	pt := analysis.Point{Faulty: true, FFM: fp.RDF0}
+	if g := Glyph(pt); g != 'R' {
+		t.Errorf("RDF0 glyph = %c, want R", g)
+	}
+	if g := Glyph(analysis.Point{Faulty: true}); g != '?' {
+		t.Errorf("unknown glyph = %c, want ?", g)
+	}
+}
+
+func TestWriteInventory(t *testing.T) {
+	o, _ := defect.ByID(4)
+	rows := []analysis.Row{
+		{
+			SimFFM: fp.RDF1, ComFFM: fp.RDF0, Open: o,
+			Float: defect.FloatBitLine, Possible: true,
+			Completed: fp.MustParse("<1v [w0BL] r1v/0/0>"),
+		},
+		{SimFFM: fp.SF0, ComFFM: fp.SF1, Open: o, Float: defect.FloatWordLine},
+	}
+	var buf bytes.Buffer
+	if err := WriteInventory(&buf, rows); err != nil {
+		t.Fatalf("WriteInventory: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RDF1", "Not possible", "<1v [w0BL] r1v/0/0>", "Bit line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inventory missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCoverage(t *testing.T) {
+	results := []march.CoverageResult{
+		{Test: "MATS+", Fault: "RDF1", Detected: true, Caught: 8, Scenarios: 8},
+		{Test: "March PF", Fault: "RDF1", Detected: true, Caught: 16, Scenarios: 16},
+		{Test: "MATS+", Fault: "RDF1 partial", Caught: 0, Scenarios: 8},
+		{Test: "March PF", Fault: "RDF1 partial", Caught: 8, Scenarios: 16},
+	}
+	var buf bytes.Buffer
+	if err := WriteCoverage(&buf, results, []string{"MATS+", "March PF"}); err != nil {
+		t.Fatalf("WriteCoverage: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"✓", "✗", "8/16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coverage missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package spice implements the simulation engines that drive the
+// netlists in internal/circuit: a Newton–Raphson DC operating-point
+// solver and a fixed-step backward-Euler transient engine.
+//
+// The engine is deliberately small: dense MNA assembly, full Newton with
+// a gmin conductance from every node to ground (which also gives
+// genuinely floating nets — isolated bit lines behind a resistive open —
+// a well-defined, slowly leaking voltage, exactly the "floating line"
+// physics the partial-fault paper studies).
+package spice
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/numeric"
+)
+
+// Options configures the engines. The zero value is not usable; call
+// DefaultOptions.
+type Options struct {
+	// Gmin is the conductance from every node to ground, providing a DC
+	// path for floating nets. 1e-12 S leaks a 250 fF bit line with a
+	// time constant of ~250 s, i.e. effectively floating at the
+	// nanosecond timescale of memory operations.
+	Gmin float64
+	// MaxNewtonIter bounds the Newton iterations per solve.
+	MaxNewtonIter int
+	// VTol is the absolute voltage convergence tolerance.
+	VTol float64
+	// MaxStepVoltage limits the per-iteration voltage update to damp
+	// Newton on strongly nonlinear steps (sense-amp regeneration).
+	MaxStepVoltage float64
+	// Trapezoidal selects trapezoidal integration for reactive elements
+	// (second-order accurate) instead of backward Euler (first-order,
+	// maximally damped). The DRAM analyses use BE — the stiff defect RC
+	// networks favour damping — but the trapezoidal option is validated
+	// against analytic responses in the engine tests.
+	Trapezoidal bool
+}
+
+// DefaultOptions returns the options used throughout the repository.
+func DefaultOptions() Options {
+	return Options{
+		Gmin:           1e-12,
+		MaxNewtonIter:  100,
+		VTol:           1e-6,
+		MaxStepVoltage: 1.0,
+	}
+}
+
+// ErrNoConvergence is returned when Newton iteration fails to converge.
+var ErrNoConvergence = errors.New("spice: Newton iteration did not converge")
+
+// Engine simulates a frozen circuit.
+type Engine struct {
+	ckt  *circuit.Circuit
+	opts Options
+	a    *numeric.Matrix
+	b    []float64
+	x    []float64 // current converged solution
+	time float64
+
+	ws    *numeric.Workspace
+	xIter []float64
+	xNew  []float64
+	xPrev []float64
+}
+
+// NewEngine creates an engine for the circuit, which must already be
+// frozen (circuit.Freeze).
+func NewEngine(ckt *circuit.Circuit, opts Options) *Engine {
+	n := ckt.Size()
+	if n == 0 {
+		panic("spice: empty circuit")
+	}
+	return &Engine{
+		ckt:   ckt,
+		opts:  opts,
+		a:     numeric.NewMatrix(n, n),
+		b:     make([]float64, n),
+		x:     make([]float64, n),
+		ws:    numeric.NewWorkspace(n),
+		xIter: make([]float64, n),
+		xNew:  make([]float64, n),
+		xPrev: make([]float64, n),
+	}
+}
+
+// Time returns the current simulation time.
+func (e *Engine) Time() float64 { return e.time }
+
+// SetTime resets the simulation clock (used when restarting a stimulus
+// schedule on a reused engine).
+func (e *Engine) SetTime(t float64) { e.time = t }
+
+// Voltage returns the node voltage of the named net in the current
+// solution. It panics if the net does not exist.
+func (e *Engine) Voltage(net string) float64 {
+	idx, ok := e.ckt.NodeIndex(net)
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown net %q", net))
+	}
+	return e.voltageAt(idx)
+}
+
+func (e *Engine) voltageAt(idx int) float64 {
+	if idx == 0 {
+		return 0
+	}
+	return e.x[idx-1]
+}
+
+// VoltageFn returns an accessor closure over the current solution,
+// suitable for device current queries.
+func (e *Engine) VoltageFn() func(int) float64 { return e.voltageAt }
+
+// SetNodeVoltage forcibly sets a node voltage in the engine state. This
+// implements the paper's fault-analysis methodology of *initializing
+// floating voltages* (Section 2): before applying an operation, the
+// analysis overwrites the floating line (bit line, cell node, word line,
+// reference cell) with the swept initial value U.
+func (e *Engine) SetNodeVoltage(net string, v float64) {
+	idx, ok := e.ckt.NodeIndex(net)
+	if !ok {
+		panic(fmt.Sprintf("spice: unknown net %q", net))
+	}
+	if idx == 0 {
+		panic("spice: cannot set ground voltage")
+	}
+	e.x[idx-1] = v
+	// A forced state change invalidates stored integration state.
+	for _, el := range e.ckt.Elements() {
+		if r, ok := el.(interface{ ResetState() }); ok {
+			r.ResetState()
+		}
+	}
+}
+
+// assemble builds A and b for one Newton iterate.
+func (e *Engine) assemble(xIter, xPrev []float64, dt float64) {
+	e.a.Zero()
+	for i := range e.b {
+		e.b[i] = 0
+	}
+	ctx := &circuit.StampContext{
+		A: e.a, B: e.b,
+		X: xIter, XPrev: xPrev,
+		Dt: dt, Time: e.time,
+		Trapezoidal: e.opts.Trapezoidal,
+	}
+	for _, el := range e.ckt.Elements() {
+		el.Stamp(ctx)
+	}
+	// gmin to ground on every node.
+	for n := 0; n < e.ckt.NumNodes(); n++ {
+		e.a.Add(n, n, e.opts.Gmin)
+	}
+}
+
+// newtonSolve iterates to convergence starting from guess, with xPrev as
+// the previous-timestep state for companion models. On success the
+// engine's solution vector is updated.
+func (e *Engine) newtonSolve(guess, xPrev []float64, dt float64) error {
+	xIter := e.xIter
+	copy(xIter, guess)
+	xNew := e.xNew
+	nNodes := e.ckt.NumNodes()
+	for iter := 0; iter < e.opts.MaxNewtonIter; iter++ {
+		e.assemble(xIter, xPrev, dt)
+		if err := e.ws.Factorize(e.a); err != nil {
+			return fmt.Errorf("spice: %w (iteration %d)", err, iter)
+		}
+		e.ws.Solve(e.b, xNew)
+		// Damp node-voltage updates.
+		for i := 0; i < nNodes; i++ {
+			d := xNew[i] - xIter[i]
+			if d > e.opts.MaxStepVoltage {
+				xNew[i] = xIter[i] + e.opts.MaxStepVoltage
+			} else if d < -e.opts.MaxStepVoltage {
+				xNew[i] = xIter[i] - e.opts.MaxStepVoltage
+			}
+		}
+		delta := numeric.MaxAbsDiff(xNew[:nNodes], xIter[:nNodes])
+		copy(xIter, xNew)
+		if delta < e.opts.VTol {
+			copy(e.x, xIter)
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// OperatingPoint solves the DC operating point (capacitors open) and
+// stores it as the current solution.
+func (e *Engine) OperatingPoint() error {
+	return e.newtonSolve(e.x, e.x, 0)
+}
+
+// Step advances the transient solution by dt seconds using backward
+// Euler. The previous solution is both the integration state and the
+// Newton starting guess.
+func (e *Engine) Step(dt float64) error {
+	if dt <= 0 {
+		panic("spice: Step requires dt > 0")
+	}
+	xPrev := e.xPrev
+	copy(xPrev, e.x)
+	e.time += dt
+	if err := e.newtonSolve(xPrev, xPrev, dt); err != nil {
+		e.time -= dt
+		return err
+	}
+	// Let stateful elements (trapezoidal capacitors) record the step.
+	ctx := &circuit.StampContext{
+		X: e.x, XPrev: xPrev,
+		Dt: dt, Time: e.time,
+		Trapezoidal: e.opts.Trapezoidal,
+	}
+	for _, el := range e.ckt.Elements() {
+		if cm, ok := el.(circuit.Committer); ok {
+			cm.Commit(ctx)
+		}
+	}
+	return nil
+}
+
+// Run advances the transient by duration seconds in n equal steps,
+// invoking observe (if non-nil) after every step with the engine.
+func (e *Engine) Run(duration float64, n int, observe func(*Engine)) error {
+	if n <= 0 {
+		panic("spice: Run requires n > 0 steps")
+	}
+	dt := duration / float64(n)
+	for i := 0; i < n; i++ {
+		if err := e.Step(dt); err != nil {
+			return fmt.Errorf("spice: step %d at t=%.3e: %w", i, e.time, err)
+		}
+		if observe != nil {
+			observe(e)
+		}
+	}
+	return nil
+}
+
+// Circuit returns the simulated circuit.
+func (e *Engine) Circuit() *circuit.Circuit { return e.ckt }

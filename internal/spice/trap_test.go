@@ -1,0 +1,127 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/device"
+)
+
+// rcError runs the RC charging circuit with n steps per time constant and
+// returns the relative error at t = τ.
+func rcError(trapezoidal bool, steps int) float64 {
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	out := ckt.Node("out")
+	r, c := 100e3, 100e-15
+	ckt.Add(device.NewVSource("V1", vdd, 0, device.DC(1)))
+	ckt.Add(device.NewResistor("R1", vdd, out, r))
+	ckt.Add(device.NewCapacitor("C1", out, 0, c))
+	ckt.Freeze()
+
+	opts := DefaultOptions()
+	opts.Trapezoidal = trapezoidal
+	e := NewEngine(ckt, opts)
+	tau := r * c
+	if err := e.Run(tau, steps, nil); err != nil {
+		panic(err)
+	}
+	want := 1 - math.Exp(-1)
+	return math.Abs(e.Voltage("out")-want) / want
+}
+
+func TestTrapezoidalBeatsBackwardEuler(t *testing.T) {
+	be := rcError(false, 50)
+	trap := rcError(true, 50)
+	if trap >= be {
+		t.Errorf("trapezoidal error %.3g not better than BE %.3g", trap, be)
+	}
+	if trap > 1e-3 {
+		t.Errorf("trapezoidal error %.3g too large at 50 steps/τ", trap)
+	}
+}
+
+func TestTrapezoidalConvergenceOrder(t *testing.T) {
+	// Halving dt should cut trapezoidal error ~4× (second order) and BE
+	// error ~2× (first order).
+	t50, t100 := rcError(true, 50), rcError(true, 100)
+	if ratio := t50 / t100; ratio < 3 || ratio > 5 {
+		t.Errorf("trapezoidal order ratio = %.2f, want ≈4", ratio)
+	}
+	b50, b100 := rcError(false, 50), rcError(false, 100)
+	if ratio := b50 / b100; ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("BE order ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestTrapezoidalFloatingNodeAfterForce(t *testing.T) {
+	// SetNodeVoltage must reset capacitor branch-current state so the
+	// forced voltage holds (no spurious current from stale state).
+	ckt := circuit.New()
+	fl := ckt.Node("float")
+	ckt.Add(device.NewCapacitor("C1", fl, 0, 250e-15))
+	ckt.Freeze()
+	opts := DefaultOptions()
+	opts.Trapezoidal = true
+	e := NewEngine(ckt, opts)
+	if err := e.Run(10e-9, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.SetNodeVoltage("float", 2.2)
+	if err := e.Run(10e-9, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Voltage("float"); math.Abs(got-2.2) > 1e-3 {
+		t.Errorf("forced floating node = %gV, want 2.2V", got)
+	}
+}
+
+func TestISourceChargesCapacitorLinearly(t *testing.T) {
+	// i = C dv/dt → a constant current charges linearly: v(t) = I·t/C.
+	ckt := circuit.New()
+	out := ckt.Node("out")
+	ckt.Add(device.NewISource("I1", 0, out, device.DC(1e-6))) // 1 µA into out
+	ckt.Add(device.NewCapacitor("C1", out, 0, 1e-12))
+	ckt.Freeze()
+	e := NewEngine(ckt, DefaultOptions())
+	if err := e.Run(1e-6, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-6 * 1e-6 / 1e-12 // = 1 V
+	if got := e.Voltage("out"); math.Abs(got-want) > 0.01 {
+		t.Errorf("cap charged to %gV, want %gV", got, want)
+	}
+}
+
+func TestISourceIntoResistor(t *testing.T) {
+	ckt := circuit.New()
+	out := ckt.Node("out")
+	ckt.Add(device.NewISource("I1", 0, out, device.DC(1e-3)))
+	ckt.Add(device.NewResistor("R1", out, 0, 1e3))
+	ckt.Freeze()
+	e := NewEngine(ckt, DefaultOptions())
+	if err := e.OperatingPoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Voltage("out"); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("v = %gV, want 1V", got)
+	}
+}
+
+func TestISourceRequiresWaveform(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewISource(nil) should panic")
+		}
+	}()
+	device.NewISource("I", 1, 0, nil)
+}
+
+// TestDRAMColumnUnaffectedByDefaultMethod guards that the default
+// options still use backward Euler (the calibrated configuration).
+func TestDefaultOptionsUseBackwardEuler(t *testing.T) {
+	if DefaultOptions().Trapezoidal {
+		t.Error("default integration must be backward Euler")
+	}
+}

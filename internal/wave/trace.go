@@ -1,0 +1,159 @@
+// Package wave provides waveform capture and inspection for transient
+// simulations: named signal traces sampled per timestep, threshold
+// crossing search, and CSV export for external plotting.
+package wave
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Trace is a single named signal sampled over time.
+type Trace struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Append records a sample. Times must be non-decreasing.
+func (t *Trace) Append(time, value float64) {
+	if n := len(t.Times); n > 0 && time < t.Times[n-1] {
+		panic(fmt.Sprintf("wave: trace %s sample time decreased (%g after %g)", t.Name, time, t.Times[n-1]))
+	}
+	t.Times = append(t.Times, time)
+	t.Values = append(t.Values, value)
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Last returns the most recent sample value, or NaN if empty.
+func (t *Trace) Last() float64 {
+	if len(t.Values) == 0 {
+		return math.NaN()
+	}
+	return t.Values[len(t.Values)-1]
+}
+
+// At returns the linearly interpolated value at the given time. Outside
+// the sampled range it clamps to the first/last sample.
+func (t *Trace) At(time float64) float64 {
+	n := len(t.Times)
+	if n == 0 {
+		return math.NaN()
+	}
+	if time <= t.Times[0] {
+		return t.Values[0]
+	}
+	if time >= t.Times[n-1] {
+		return t.Values[n-1]
+	}
+	i := sort.SearchFloat64s(t.Times, time)
+	if t.Times[i] == time {
+		return t.Values[i]
+	}
+	t0, t1 := t.Times[i-1], t.Times[i]
+	v0, v1 := t.Values[i-1], t.Values[i]
+	if t1 == t0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(time-t0)/(t1-t0)
+}
+
+// CrossingTime returns the first time the trace crosses the given level
+// in the requested direction (+1 rising, −1 falling, 0 either), or
+// (0, false) if it never does.
+func (t *Trace) CrossingTime(level float64, direction int) (float64, bool) {
+	for i := 1; i < len(t.Values); i++ {
+		v0, v1 := t.Values[i-1], t.Values[i]
+		rising := v0 < level && v1 >= level
+		falling := v0 > level && v1 <= level
+		if (direction >= 0 && rising) || (direction <= 0 && falling) {
+			// Interpolate the crossing instant.
+			if v1 == v0 {
+				return t.Times[i], true
+			}
+			frac := (level - v0) / (v1 - v0)
+			return t.Times[i-1] + frac*(t.Times[i]-t.Times[i-1]), true
+		}
+	}
+	return 0, false
+}
+
+// Min and Max return the sampled extrema (NaN if empty).
+func (t *Trace) Min() float64 { return t.extremum(false) }
+
+// Max returns the maximum sampled value (NaN if empty).
+func (t *Trace) Max() float64 { return t.extremum(true) }
+
+func (t *Trace) extremum(max bool) float64 {
+	if len(t.Values) == 0 {
+		return math.NaN()
+	}
+	out := t.Values[0]
+	for _, v := range t.Values[1:] {
+		if (max && v > out) || (!max && v < out) {
+			out = v
+		}
+	}
+	return out
+}
+
+// Recorder captures multiple traces with a shared time base.
+type Recorder struct {
+	order  []string
+	traces map[string]*Trace
+}
+
+// NewRecorder creates a recorder for the named signals.
+func NewRecorder(names ...string) *Recorder {
+	r := &Recorder{traces: map[string]*Trace{}}
+	for _, n := range names {
+		r.order = append(r.order, n)
+		r.traces[n] = &Trace{Name: n}
+	}
+	return r
+}
+
+// Sample records one value per signal at the given time. The values must
+// match the recorder's signal order.
+func (r *Recorder) Sample(time float64, values ...float64) {
+	if len(values) != len(r.order) {
+		panic("wave: Sample value count mismatch")
+	}
+	for i, n := range r.order {
+		r.traces[n].Append(time, values[i])
+	}
+}
+
+// Trace returns the named trace or nil.
+func (r *Recorder) Trace(name string) *Trace { return r.traces[name] }
+
+// Names returns the signal names in recording order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// WriteCSV emits "time,sig1,sig2,..." rows to w.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	header := append([]string{"time"}, r.order...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	if len(r.order) == 0 {
+		return nil
+	}
+	base := r.traces[r.order[0]]
+	for i, tm := range base.Times {
+		row := make([]string, 0, len(r.order)+1)
+		row = append(row, fmt.Sprintf("%.6e", tm))
+		for _, n := range r.order {
+			row = append(row, fmt.Sprintf("%.6e", r.traces[n].Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

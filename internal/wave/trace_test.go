@@ -1,0 +1,130 @@
+package wave
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceAppendAndAt(t *testing.T) {
+	tr := &Trace{Name: "v"}
+	tr.Append(0, 0)
+	tr.Append(1, 10)
+	tr.Append(2, 10)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	cases := []struct{ tm, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.7, 10}, {5, 10},
+	}
+	for _, c := range cases {
+		if got := tr.At(c.tm); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.tm, got, c.want)
+		}
+	}
+	if tr.Last() != 10 {
+		t.Errorf("Last = %g, want 10", tr.Last())
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	tr := &Trace{Name: "v"}
+	if !math.IsNaN(tr.Last()) || !math.IsNaN(tr.At(0)) || !math.IsNaN(tr.Min()) || !math.IsNaN(tr.Max()) {
+		t.Error("empty trace queries must return NaN")
+	}
+}
+
+func TestTraceAppendTimeOrdering(t *testing.T) {
+	tr := &Trace{Name: "v"}
+	tr.Append(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Append with decreasing time should panic")
+		}
+	}()
+	tr.Append(0.5, 0)
+}
+
+func TestTraceCrossing(t *testing.T) {
+	tr := &Trace{Name: "v"}
+	tr.Append(0, 0)
+	tr.Append(1, 2)
+	tr.Append(2, 0)
+
+	rise, ok := tr.CrossingTime(1, +1)
+	if !ok || math.Abs(rise-0.5) > 1e-12 {
+		t.Errorf("rising crossing = %g,%v, want 0.5,true", rise, ok)
+	}
+	fall, ok := tr.CrossingTime(1, -1)
+	if !ok || math.Abs(fall-1.5) > 1e-12 {
+		t.Errorf("falling crossing = %g,%v, want 1.5,true", fall, ok)
+	}
+	either, ok := tr.CrossingTime(1, 0)
+	if !ok || math.Abs(either-0.5) > 1e-12 {
+		t.Errorf("either crossing = %g,%v, want 0.5,true", either, ok)
+	}
+	if _, ok := tr.CrossingTime(5, 0); ok {
+		t.Error("crossing above the trace must not be found")
+	}
+}
+
+func TestTraceMinMax(t *testing.T) {
+	tr := &Trace{Name: "v"}
+	for i, v := range []float64{3, -1, 7, 2} {
+		tr.Append(float64(i), v)
+	}
+	if tr.Min() != -1 || tr.Max() != 7 {
+		t.Errorf("Min/Max = %g/%g, want -1/7", tr.Min(), tr.Max())
+	}
+}
+
+func TestRecorderSampleAndCSV(t *testing.T) {
+	r := NewRecorder("bt", "bc")
+	r.Sample(0, 1.65, 1.65)
+	r.Sample(1e-9, 3.3, 0)
+	if got := r.Trace("bt").Last(); got != 3.3 {
+		t.Errorf("bt last = %g, want 3.3", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time,bt,bc\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("CSV has %d lines, want 3", lines)
+	}
+}
+
+func TestRecorderSampleCountMismatch(t *testing.T) {
+	r := NewRecorder("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample with wrong arity should panic")
+		}
+	}()
+	r.Sample(0, 1)
+}
+
+// Property: At() of a monotone trace stays within the sampled bounds.
+func TestTraceAtWithinBoundsProperty(t *testing.T) {
+	prop := func(raw []uint8, q uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		tr := &Trace{Name: "p"}
+		for i, r := range raw {
+			tr.Append(float64(i), float64(r))
+		}
+		tm := float64(q) / 255 * float64(len(raw)-1)
+		v := tr.At(tm)
+		return v >= tr.Min()-1e-9 && v <= tr.Max()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
