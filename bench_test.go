@@ -32,6 +32,8 @@ func BenchmarkFig3aBitLineOpenPlane(b *testing.B) {
 	grp, _ := o.Float(defect.FloatBitLine)
 	rdefs, us := fig3Grid()
 	var uHigh float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plane, err := analysis.SweepPlane(analysis.SweepConfig{
 			Factory: NewBehavFactory(), Open: o, Float: grp,
@@ -62,6 +64,8 @@ func BenchmarkFig3bCompletedSOSPlane(b *testing.B) {
 	grp, _ := o.Float(defect.FloatBitLine)
 	rdefs, us := fig3Grid()
 	completed := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plane, err := analysis.SweepPlane(analysis.SweepConfig{
 			Factory: NewBehavFactory(), Open: o, Float: grp,
@@ -88,6 +92,8 @@ func BenchmarkFig4aCellOpenPlane(b *testing.B) {
 	rdefs := numeric.Logspace(1e4, 1e7, 13)
 	us := []float64{0, 0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.3}
 	var onHigh, onLow float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plane, err := analysis.SweepPlane(analysis.SweepConfig{
 			Factory: NewBehavFactory(), Open: o, Float: grp,
@@ -122,6 +128,8 @@ func BenchmarkFig4bCompletedSOSPlane(b *testing.B) {
 	rdefs := numeric.Logspace(1e4, 1e7, 13)
 	us := numeric.Linspace(0, 3.3, 9)
 	var onset float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		plane, err := analysis.SweepPlane(analysis.SweepConfig{
 			Factory: NewBehavFactory(), Open: o, Float: grp,
@@ -162,6 +170,8 @@ func BenchmarkFig4bCompletedSOSPlane(b *testing.B) {
 // faults found, completions found, "Not possible" rows.
 func BenchmarkTable1PartialFaultInventory(b *testing.B) {
 	var found, completedN, impossible float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := analysis.BuildInventory(analysis.InventoryConfig{
 			Factory: NewBehavFactory(),
@@ -194,6 +204,8 @@ func BenchmarkTable1PartialFaultInventory(b *testing.B) {
 // the 12-FP static space and the brute-force #O ≤ 4 space.
 func BenchmarkFPSpaceEnumeration(b *testing.B) {
 	var static, brute float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		static, brute = 0, 0
 		for n := 0; n <= 4; n++ {
@@ -218,6 +230,8 @@ func BenchmarkFPSpaceEnumeration(b *testing.B) {
 func BenchmarkMarchPFCoverage(b *testing.B) {
 	catalog := march.PaperFaultCatalog()
 	var detected, completable, impossibleDetected float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		detected, completable, impossibleDetected = 0, 0, 0
 		for _, e := range catalog {
@@ -252,6 +266,8 @@ func BenchmarkMarchPFCoverage(b *testing.B) {
 func BenchmarkClassicalTestsMissPartialFaults(b *testing.B) {
 	catalog := march.PaperFaultCatalog()
 	var missed, total float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		missed, total = 0, 0
 		for _, e := range catalog {
@@ -283,6 +299,8 @@ func BenchmarkShortsBridgesNoPartialFaults(b *testing.B) {
 	rdefs := numeric.Logspace(1e2, 1e6, 5)
 	us := []float64{0, 1.65, 3.3}
 	var defects, partials float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		defects, partials = 0, 0
 		for _, sb := range defect.ShortsAndBridges() {
@@ -318,6 +336,8 @@ func BenchmarkBehavVsSpiceFidelity(b *testing.B) {
 	sos := fp.NewSOS(fp.Init1, fp.R(1))
 	b.Run("behav", func(b *testing.B) {
 		f := NewBehavFactory()
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			out, err := analysis.RunSOS(f, o, 1e7, grp.Nets, 0, sos)
 			if err != nil {
@@ -330,6 +350,8 @@ func BenchmarkBehavVsSpiceFidelity(b *testing.B) {
 	})
 	b.Run("spice", func(b *testing.B) {
 		f := analysis.NewSpiceFactory(dram.Default())
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			out, err := analysis.RunSOS(f, o, 1e7, grp.Nets, 0, sos)
 			if err != nil {
@@ -350,6 +372,8 @@ func BenchmarkDirectedVsBruteForceSearch(b *testing.B) {
 	o, _ := defect.ByID(4)
 	grp, _ := o.Float(defect.FloatBitLine)
 	var directedSims, bruteFPs float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		comp, err := analysis.SearchCompletion(analysis.CompletionConfig{
 			Factory: NewBehavFactory(), Open: o, Float: grp,
@@ -400,6 +424,8 @@ func BenchmarkTechnologySensitivity(b *testing.B) {
 		return onset
 	}
 	var fast, slow float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fast = onsetFor(1) // nominal 3 ns precharge
 		slow = onsetFor(3) // 9 ns precharge
@@ -414,11 +440,12 @@ func BenchmarkTechnologySensitivity(b *testing.B) {
 // BenchmarkSpiceOperation measures one electrical write+read pair on the
 // healthy column — the substrate's unit cost.
 func BenchmarkSpiceOperation(b *testing.B) {
-	col := dram.NewColumn(dram.Default())
+	col := dram.MustNewColumn(dram.Default())
 	if err := col.PowerUp(); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := col.Write(0, i%2); err != nil {
 			b.Fatal(err)
@@ -436,6 +463,8 @@ func BenchmarkSpiceOperation(b *testing.B) {
 // BenchmarkBehavOperation measures the same pair on the analytical model.
 func BenchmarkBehavOperation(b *testing.B) {
 	m := behav.New(behav.DefaultParams())
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Write(0, i%2); err != nil {
 			b.Fatal(err)
@@ -456,6 +485,8 @@ func BenchmarkBehavOperation(b *testing.B) {
 // the classical static tests none.
 func BenchmarkDynamicFaultCoverage(b *testing.B) {
 	var raw, cminus float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		raw, cminus = 0, 0
 		for _, p := range memsim.DynamicFaultCatalog() {
@@ -492,6 +523,8 @@ func BenchmarkDynamicFaultCoverage(b *testing.B) {
 // (published property: all 36) and by March C- (24).
 func BenchmarkTwoCellCoverage(b *testing.B) {
 	var ss, cminus float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		covSS, err := march.EvaluateTwoCellCoverage(march.MarchSS(), 2, 2)
 		if err != nil {
@@ -514,6 +547,8 @@ func BenchmarkTwoCellCoverage(b *testing.B) {
 // faulty array — the functional simulator's unit cost.
 func BenchmarkMarchTestExecution(b *testing.B) {
 	entry := march.PaperFaultCatalog()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		arr := NewMemArray(4, 4)
 		if err := arr.Inject(entry.Make(5)); err != nil {

@@ -23,6 +23,7 @@ import (
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
 	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
 )
@@ -40,8 +41,13 @@ func main() {
 		uMax      = flag.Float64("u-max", 3.3, "maximum floating voltage [V]")
 		uSteps    = flag.Int("u-steps", 12, "linear voltage steps")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
+		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 	)
 	flag.Parse()
+
+	if *doLint {
+		preflight()
+	}
 
 	open, ok := defect.ByID(*openID)
 	if !ok {
@@ -101,6 +107,21 @@ func parseSOSOrFP(s string) (fp.SOS, error) {
 		return p.S, nil
 	}
 	return fp.ParseSOS(s)
+}
+
+// preflight runs the static netlist, inventory and march checks and
+// aborts before any simulation when they find an error.
+func preflight() {
+	findings, err := analysis.Preflight(dram.Default())
+	if err != nil {
+		fatalf("lint: %v", err)
+	}
+	if err := report.WriteFindings(os.Stderr, findings, lint.Warning); err != nil {
+		fatalf("lint: %v", err)
+	}
+	if findings.Count(lint.Error) > 0 {
+		fatalf("lint: static analysis failed; not simulating")
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -17,6 +17,7 @@ import (
 
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/march"
 	"github.com/memtest/partialfaults/internal/report"
 )
@@ -29,6 +30,7 @@ func main() {
 		floatVar = flag.String("float", "Bit line", "mediating floating voltage for a partial -fault")
 		rows     = flag.Int("rows", 4, "array rows")
 		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
+		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-pass before simulating")
 	)
 	flag.Parse()
 
@@ -72,6 +74,19 @@ func main() {
 		fmt.Printf("%-9s (%2dN): %s\n", t.Name, t.Length(), t)
 	}
 	fmt.Println()
+
+	if *doLint {
+		findings := march.LintAll(tests)
+		findings = append(findings, march.CompletionPrePass(tests, catalog)...)
+		findings.Sort()
+		if err := report.WriteFindings(os.Stdout, findings, lint.Info); err != nil {
+			fatalf("lint: %v", err)
+		}
+		fmt.Println()
+		if findings.Count(lint.Error) > 0 {
+			fatalf("lint: the selected tests are statically broken; not simulating")
+		}
+	}
 
 	results, err := march.CoverageMatrix(tests, catalog, *rows, *cols)
 	if err != nil {

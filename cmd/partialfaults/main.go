@@ -20,6 +20,7 @@ import (
 	"github.com/memtest/partialfaults/internal/behav"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
 )
@@ -30,8 +31,13 @@ func main() {
 		opens   = flag.String("opens", "", "comma-separated open numbers (default: all simulated opens)")
 		quick   = flag.Bool("quick", false, "coarser grid for a fast run")
 		verbose = flag.Bool("v", false, "print pipeline progress")
+		doLint  = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 	)
 	flag.Parse()
+
+	if *doLint {
+		preflight()
+	}
 
 	var factory analysis.Factory
 	switch *engine {
@@ -93,6 +99,21 @@ func main() {
 	fmt.Printf("\nComparison with the paper's published Table 1 (%d exact, %d FFM-only, %d rows):\n\n",
 		exact, ffmOnly, len(matches))
 	fmt.Print(analysis.SummarizeComparison(matches))
+}
+
+// preflight runs the static netlist, inventory and march checks and
+// aborts before the pipeline when they find an error.
+func preflight() {
+	findings, err := analysis.Preflight(dram.Default())
+	if err != nil {
+		fatalf("lint: %v", err)
+	}
+	if err := report.WriteFindings(os.Stderr, findings, lint.Warning); err != nil {
+		fatalf("lint: %v", err)
+	}
+	if findings.Count(lint.Error) > 0 {
+		fatalf("lint: static analysis failed; not running the pipeline")
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,124 @@
+// Command pflint runs the full static-analysis stack over this
+// repository: the netlist layer (floating-net prover, MNA solvability,
+// phase-model verification, nine-opens floating-line cross-check), the
+// march-test layer (structural lint plus the completion pre-pass), and
+// the Go project linter.
+//
+// Usage:
+//
+//	pflint [flags] [./...]
+//
+// The optional package pattern selects the module root for the Go
+// linter (default "./..."). The exit code is nonzero when any finding
+// at error severity exists.
+//
+//	-v        also print informational findings
+//	-selftest lint deliberately broken inputs instead of the repo; the
+//	          exit code must be nonzero (used by CI to prove the tools
+//	          can fail)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/lint/golint"
+	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/netlint"
+	"github.com/memtest/partialfaults/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pflint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "also print informational findings")
+	selftest := fs.Bool("selftest", false, "lint deliberately broken inputs; exit must be nonzero")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	root := "."
+	if rest := fs.Args(); len(rest) > 0 {
+		root = strings.TrimSuffix(rest[0], "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+	}
+
+	var findings lint.Findings
+	if *selftest {
+		findings = seededBadFindings()
+	} else {
+		var err error
+		findings, err = lintRepo(root)
+		if err != nil {
+			fmt.Fprintf(stderr, "pflint: %v\n", err)
+			return 2
+		}
+	}
+
+	minSev := lint.Warning
+	if *verbose {
+		minSev = lint.Info
+	}
+	if err := report.WriteFindings(stdout, findings, minSev); err != nil {
+		fmt.Fprintf(stderr, "pflint: %v\n", err)
+		return 2
+	}
+	if findings.Count(lint.Error) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// lintRepo runs all three layers against the real inputs: the DRAM
+// column netlist with its phase model and defect inventory, the march
+// library, and the Go sources under root.
+func lintRepo(root string) (lint.Findings, error) {
+	out, err := analysis.Preflight(dram.Default())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, march.CompletionPrePass(march.All(), march.PaperFaultCatalog())...)
+	gofs, err := golint.Run(golint.DefaultConfig(root))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, gofs...)
+	out.Sort()
+	return out, nil
+}
+
+// seededBadFindings lints intentionally broken inputs — a netlist with
+// a floating net and a voltage-source loop, and a march test that can
+// never pass on a healthy memory — proving the analyzers can fail.
+func seededBadFindings() lint.Findings {
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	lost := ckt.Node("lost")
+	ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(3.3)))
+	ckt.MustAdd(device.NewVSource("V2", vdd, 0, device.DC(3.3))) // source loop
+	ckt.MustAdd(device.NewCapacitor("C1", lost, 0, 1e-15))       // floating net
+	ckt.Freeze()
+	out := netlint.New(ckt, netlint.Model{CutoffOhms: 1e9}).Check()
+
+	bad := march.Test{Name: "seeded-bad", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(0)}},
+		{Order: march.Up, Ops: []march.Op{march.R(1), march.W(0)}}, // reads 1, stores 0
+	}}
+	out = append(out, march.Lint(bad)...)
+	out.Sort()
+	return out
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance gate: zero on the repository itself, nonzero on the
+// seeded bad inputs.
+func TestRepositoryExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"../../..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d on the repository, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 errors, 0 warnings") {
+		t.Errorf("summary should report a clean run:\n%s", out.String())
+	}
+}
+
+func TestSelftestExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-selftest"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d on seeded bad inputs, want 1\nstderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"floating-net", "vsource-loop", "contradictory-read"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("selftest output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// -v surfaces the informational findings (the completion pre-pass and
+// gmin diagnostics) that the default threshold hides.
+func TestVerboseShowsInfo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-v", "../../..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	for _, want := range []string{"cannot-complete", "gmin-dependent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}

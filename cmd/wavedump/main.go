@@ -30,7 +30,10 @@ func main() {
 	)
 	flag.Parse()
 
-	col := dram.NewColumn(dram.Default())
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		fatalf("build column: %v", err)
+	}
 	var floatNets []string
 	if *openID != 0 {
 		o, ok := defect.ByID(*openID)

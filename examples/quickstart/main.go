@@ -12,7 +12,10 @@ import (
 
 func main() {
 	// A healthy 0.35 µm-class column, simulated at the electrical level.
-	col := dram.NewColumn(dram.Default())
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		log.Fatalf("build column: %v", err)
+	}
 	if err := col.PowerUp(); err != nil {
 		log.Fatalf("power-up: %v", err)
 	}
@@ -36,7 +39,10 @@ func main() {
 	if err := col.Write(0, 1); err != nil {
 		log.Fatalf("write: %v", err)
 	}
-	got, _ = col.Read(0)
+	got, err = col.Read(0)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
 	fmt.Printf("defective, w1;r1: r%d — the fault hides (BL preconditioned high)\n", got)
 
 	// A completing w0 to ANOTHER cell on the same bit line pulls the
@@ -47,7 +53,10 @@ func main() {
 	if err := col.Write(1, 0); err != nil { // completing operation
 		log.Fatalf("write: %v", err)
 	}
-	got, _ = col.Read(0)
+	got, err = col.Read(0)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
 	fmt.Printf("defective, w1v [w0BL] r1v: r%d, cell left at %.2f V — the completed fault <1v [w0BL] r1v/0/0>\n",
 		got, col.CellVoltage(0))
 }

@@ -48,7 +48,10 @@ func TestIntegrationPaperHeadlineViaFacade(t *testing.T) {
 }
 
 func TestIntegrationElectricalColumnViaFacade(t *testing.T) {
-	col := NewColumn(DefaultTechnology())
+	col, err := NewColumn(DefaultTechnology())
+	if err != nil {
+		t.Fatalf("build column: %v", err)
+	}
 	if err := col.PowerUp(); err != nil {
 		t.Fatalf("power-up: %v", err)
 	}

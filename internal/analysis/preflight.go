@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
+
+// Preflight runs every static check that can invalidate an analysis run
+// before any transient simulation: the netlist structural proofs
+// (floating nets, MNA solvability) and phase-model verification, the
+// per-open floating-line cross-check against the defect package's
+// Table 1 inventory, and the march-test lint. A finding at error
+// severity means the pipeline's inputs are inconsistent and its results
+// would be untrustworthy.
+func Preflight(tech dram.Technology) (lint.Findings, error) {
+	col, err := dram.NewColumn(tech)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: preflight netlist build: %w", err)
+	}
+	az := netlint.New(col.Circuit(), dram.LintModel())
+	out := az.Check()
+	out = append(out, CrossCheckOpens(az)...)
+	out = append(out, march.LintAll(march.All())...)
+	out.Sort()
+	return out, nil
+}
+
+// CrossCheckOpens predicts, for each of the paper's nine opens, the
+// floating-line set from the netlist graph alone and compares it with
+// the defect package's declared float groups (the Table 1 inventory).
+// The comparison is restricted to the universe of nets any open
+// declares: the graph analysis also sees nets the paper's sweep
+// protocol does not initialize (e.g. the unused cell 1 and the BC-side
+// segments), and those carry no declared expectation to check against.
+//
+// Disagreement on the primary (directly starved) set is an error — the
+// netlist and the inventory have drifted apart. Secondary floats (nets
+// starved only because a floating control net stops reaching a gate,
+// e.g. the cell behind Open 9's dead word line) are reported as
+// informational findings: the paper models them through the mediating
+// variable, not as separately initialized nets.
+func CrossCheckOpens(az *netlint.Analyzer) lint.Findings {
+	var out lint.Findings
+	universe := map[string]bool{}
+	for _, o := range defect.Opens() {
+		for _, g := range o.Floats {
+			for _, n := range g.Nets {
+				universe[n] = true
+			}
+		}
+	}
+	inUniverse := func(nets []string) []string {
+		var kept []string
+		for _, n := range nets {
+			if universe[n] {
+				kept = append(kept, n)
+			}
+		}
+		return kept
+	}
+	for _, o := range defect.Opens() {
+		pred := az.PredictFloats([]string{dram.SiteElementName(o.Site)})
+		var want []string
+		for _, g := range o.Floats {
+			want = append(want, g.Nets...)
+		}
+		sort.Strings(want)
+		got := inUniverse(pred.Primary)
+		if !equalStrings(got, want) {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "float-prediction-mismatch", Severity: lint.Error,
+				Subject: o.Name(),
+				Message: fmt.Sprintf("graph analysis predicts floating lines %v but the defect inventory declares %v; netlist and Table 1 expectations have drifted apart", got, want),
+			})
+		}
+		if sec := inUniverse(pred.Secondary); len(sec) > 0 {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "float-secondary", Severity: lint.Info,
+				Subject: o.Name(),
+				Message: fmt.Sprintf("nets %v additionally lose drive because a floating control net starves their access gates; the sweep models this through the mediating variable", sec),
+			})
+		}
+	}
+	out.Sort()
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
+
+// The repo's own netlist, phase model, defect inventory and march
+// library must pre-flight clean: informational findings only.
+func TestPreflightClean(t *testing.T) {
+	fs, err := Preflight(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := fs.AtLeast(lint.Warning); len(bad) != 0 {
+		t.Errorf("preflight has %d findings at warning or above:", len(bad))
+		for _, f := range bad {
+			t.Errorf("  %s", f)
+		}
+	}
+}
+
+// Golden floating-line predictions for the paper's nine Figure-2 opens,
+// restricted to the nets the defect inventory declares (the graph also
+// sees paper-uninitialized nets like the BC-side segments). Open 9 is
+// Table 1's "Not possible" row: only the word line floats directly; the
+// cell is starved secondarily through its dead access gate.
+func TestNineOpensGoldenPredictions(t *testing.T) {
+	bt := func(from int) []string {
+		all := []string{dram.NetBTPre, dram.NetBTCell, dram.NetBTRef, dram.NetBTSA, dram.NetBTIO}
+		return all[from:]
+	}
+	golden := map[int]netlint.Prediction{
+		1: {Primary: []string{dram.NetCell0Store}},
+		2: {Primary: []string{dram.NetRefStore}},
+		3: {Primary: bt(0)},
+		4: {Primary: bt(1)},
+		5: {Primary: append(bt(2), dram.NetCell0Store)},
+		6: {Primary: append(bt(3), dram.NetCell0Store)},
+		7: {Primary: []string{dram.NetRefStore, dram.NetOutBuf, dram.NetIO}},
+		8: {Primary: append(bt(4), dram.NetOutBuf, dram.NetIO)},
+		9: {Primary: []string{dram.NetWL0Gate}, Secondary: []string{dram.NetCell0Store}},
+	}
+
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := netlint.New(col.Circuit(), dram.LintModel())
+	universe := map[string]bool{}
+	for _, o := range defect.Opens() {
+		for _, g := range o.Floats {
+			for _, n := range g.Nets {
+				universe[n] = true
+			}
+		}
+	}
+	restrict := func(nets []string) []string {
+		var kept []string
+		for _, n := range nets {
+			if universe[n] {
+				kept = append(kept, n)
+			}
+		}
+		sort.Strings(kept)
+		return kept
+	}
+
+	for _, o := range defect.Opens() {
+		want, ok := golden[o.ID]
+		if !ok {
+			t.Fatalf("no golden entry for %s", o.Name())
+		}
+		sort.Strings(want.Primary)
+		sort.Strings(want.Secondary)
+		pred := az.PredictFloats([]string{dram.SiteElementName(o.Site)})
+		if got := restrict(pred.Primary); !reflect.DeepEqual(got, want.Primary) {
+			t.Errorf("%s primary floats = %v, want %v", o.Name(), got, want.Primary)
+		}
+		if got := restrict(pred.Secondary); !reflect.DeepEqual(got, want.Secondary) {
+			t.Errorf("%s secondary floats = %v, want %v", o.Name(), got, want.Secondary)
+		}
+	}
+}
+
+// The cross-check must actually be able to fail: feed it an analyzer
+// whose cutoff is disabled — the 1e12 Ω healthy short-site resistors
+// then conduct and the predictions drift from the inventory.
+func TestCrossCheckDetectsDrift(t *testing.T) {
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dram.LintModel()
+	m.CutoffOhms = 0
+	az := netlint.New(col.Circuit(), m)
+	if fs := CrossCheckOpens(az).ByRule("float-prediction-mismatch"); len(fs) == 0 {
+		t.Fatal("distorted analyzer produced no mismatch findings")
+	}
+}

@@ -44,7 +44,10 @@ type Factory func(open defect.Open, rdef float64) (Memory, error)
 // DRAM column.
 func NewSpiceFactory(tech dram.Technology) Factory {
 	return func(open defect.Open, rdef float64) (Memory, error) {
-		col := dram.NewColumn(tech)
+		col, err := dram.NewColumn(tech)
+		if err != nil {
+			return nil, err
+		}
 		col.SetSiteResistance(open.Site, rdef)
 		if err := col.PowerUp(); err != nil {
 			return nil, fmt.Errorf("analysis: power-up with %s at %.3g Ω: %w", open.Name(), rdef, err)

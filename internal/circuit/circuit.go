@@ -175,11 +175,18 @@ func (c *Circuit) NumBranches() int { return c.branches }
 func (c *Circuit) Size() int { return c.NumNodes() + c.branches }
 
 // Add registers an element. Branch elements are assigned their branch
-// index here. Add panics on a duplicate element name, which always
-// indicates a netlist construction bug.
-func (c *Circuit) Add(e Element) {
+// index here. Add rejects duplicate element designators and (for elements
+// that describe their topology) self-looped two-terminal elements —
+// both always indicate a netlist construction bug, and letting them
+// through would stamp a silently wrong or singular system.
+func (c *Circuit) Add(e Element) error {
 	if _, dup := c.elemByID[e.Name()]; dup {
-		panic(fmt.Sprintf("circuit: duplicate element name %q", e.Name()))
+		return fmt.Errorf("circuit: duplicate element name %q", e.Name())
+	}
+	if te, ok := e.(Topological); ok {
+		if err := c.validateTopology(te); err != nil {
+			return err
+		}
 	}
 	if be, ok := e.(BranchElement); ok {
 		be.SetBranch(c.NumNodes() + c.branches) // provisional; fixed up in Freeze
@@ -187,6 +194,15 @@ func (c *Circuit) Add(e Element) {
 	}
 	c.elements = append(c.elements, e)
 	c.elemByID[e.Name()] = e
+	return nil
+}
+
+// MustAdd registers an element and panics on a construction error; for
+// tests and examples where the netlist is known-good by construction.
+func (c *Circuit) MustAdd(e Element) {
+	if err := c.Add(e); err != nil {
+		panic(err)
+	}
 }
 
 // Element returns a registered element by name, or nil.

@@ -43,15 +43,64 @@ func TestNodeInterning(t *testing.T) {
 	}
 }
 
-func TestDuplicateElementPanics(t *testing.T) {
+// topoStub is a minimal topological element for construction checks.
+type topoStub struct {
+	stub
+	branches []Branch
+}
+
+func (s *topoStub) Branches() []Branch { return s.branches }
+
+func TestAddRejectsDuplicateElement(t *testing.T) {
 	c := New()
-	c.Add(&stub{name: "R1"})
+	if err := c.Add(&stub{name: "R1"}); err != nil {
+		t.Fatalf("first Add: %v", err)
+	}
+	if err := c.Add(&stub{name: "R1"}); err == nil {
+		t.Error("duplicate element name must be rejected")
+	}
+}
+
+func TestAddRejectsSelfLoop(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	bad := &topoStub{stub: stub{name: "R1"},
+		branches: []Branch{{A: a, B: a, Kind: PathConductive, Ohms: 1}}}
+	if err := c.Add(bad); err == nil {
+		t.Error("self-looped two-terminal element must be rejected")
+	}
+	// A sense branch may legitimately reference one net twice.
+	ok := &topoStub{stub: stub{name: "M1"},
+		branches: []Branch{{A: a, B: 0, Kind: PathGated, Gate: a}, {A: a, B: a, Kind: PathSense}}}
+	if err := c.Add(ok); err != nil {
+		t.Errorf("self-referencing sense branch must be accepted: %v", err)
+	}
+}
+
+func TestAddRejectsUnknownNode(t *testing.T) {
+	c := New()
+	c.Node("a")
+	bad := &topoStub{stub: stub{name: "R1"},
+		branches: []Branch{{A: 1, B: 7, Kind: PathConductive, Ohms: 1}}}
+	if err := c.Add(bad); err == nil {
+		t.Error("out-of-range node index must be rejected")
+	}
+	gate := &topoStub{stub: stub{name: "M1"},
+		branches: []Branch{{A: 1, B: 0, Kind: PathGated, Gate: 9}}}
+	if err := c.Add(gate); err == nil {
+		t.Error("out-of-range gate index must be rejected")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	c := New()
+	c.MustAdd(&stub{name: "R1"})
 	defer func() {
 		if recover() == nil {
-			t.Error("duplicate element name should panic")
+			t.Error("MustAdd must panic on construction errors")
 		}
 	}()
-	c.Add(&stub{name: "R1"})
+	c.MustAdd(&stub{name: "R1"})
 }
 
 func TestBranchIndexAssignment(t *testing.T) {

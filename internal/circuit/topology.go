@@ -1,0 +1,106 @@
+package circuit
+
+import "fmt"
+
+// PathKind classifies how a branch between two nets conducts, for static
+// (pre-simulation) analysis. The kinds mirror the MNA stamping behaviour
+// of the elements: what provides a DC path, what forces a voltage, and
+// what only couples charge.
+type PathKind int
+
+// Branch path kinds.
+const (
+	// PathConductive is an unconditional resistive path (resistor). Its
+	// Ohms field carries the resistance so analyzers can treat an open
+	// above a cutoff as disconnected.
+	PathConductive PathKind = iota
+	// PathCapacitive couples charge but provides no DC path (capacitor).
+	PathCapacitive
+	// PathSource forces the voltage difference between its terminals and
+	// provides a DC path (voltage source).
+	PathSource
+	// PathCurrent injects current but provides no DC path and forces no
+	// voltage (current source).
+	PathCurrent
+	// PathGated conducts only when its controlling net is at the active
+	// level (MOSFET channel, voltage-controlled switch).
+	PathGated
+	// PathSense draws no current and provides no path: a high-impedance
+	// control input (MOSFET gate, switch control terminal). Listed so
+	// analyzers can see every net an element touches.
+	PathSense
+)
+
+// String names the path kind.
+func (k PathKind) String() string {
+	switch k {
+	case PathConductive:
+		return "conductive"
+	case PathCapacitive:
+		return "capacitive"
+	case PathSource:
+		return "source"
+	case PathCurrent:
+		return "current"
+	case PathGated:
+		return "gated"
+	case PathSense:
+		return "sense"
+	}
+	return "unknown"
+}
+
+// Branch describes one conduction (or sensing) path of an element between
+// two node indices, in the element's own terms — no simulation state.
+type Branch struct {
+	// A and B are the node indices the branch spans. For PathSense
+	// branches A is the sensing net and B the reference it is compared
+	// against (ground for most gates).
+	A, B int
+	// Kind classifies the branch.
+	Kind PathKind
+	// Ohms is the resistance of a PathConductive branch (0 otherwise).
+	Ohms float64
+	// Gate is the controlling node index of a PathGated branch.
+	Gate int
+	// GateActiveHigh reports whether the gated branch conducts when the
+	// controlling net is high (NMOS, switch) rather than low (PMOS).
+	GateActiveHigh bool
+}
+
+// Topological is implemented by elements that can describe their
+// terminal connectivity statically. All elements in internal/device
+// implement it; the static-analysis layer (internal/netlint) refuses to
+// certify circuits containing elements that do not.
+type Topological interface {
+	Element
+	// Branches returns the element's conduction and sensing paths.
+	Branches() []Branch
+}
+
+// validateTopology rejects degenerate element wiring at build time:
+// two-terminal elements shorted onto a single net (a self-loop stamps to
+// a numerical no-op and always indicates a netlist construction bug) and
+// terminals that do not name an existing node.
+func (c *Circuit) validateTopology(e Topological) error {
+	nodes := len(c.nodeName)
+	branches := e.Branches()
+	conducting := 0
+	for _, br := range branches {
+		for _, n := range []int{br.A, br.B} {
+			if n < 0 || n >= nodes {
+				return fmt.Errorf("circuit: element %q references node index %d outside [0,%d)", e.Name(), n, nodes)
+			}
+		}
+		if br.Kind == PathGated && (br.Gate < 0 || br.Gate >= nodes) {
+			return fmt.Errorf("circuit: element %q gate references node index %d outside [0,%d)", e.Name(), br.Gate, nodes)
+		}
+		if br.Kind != PathSense {
+			conducting++
+			if br.A == br.B {
+				return fmt.Errorf("circuit: element %q is self-looped on net %q (both terminals on one net)", e.Name(), c.NodeName(br.A))
+			}
+		}
+	}
+	return nil
+}

@@ -11,7 +11,7 @@ func TestOpensCoverAllNineSites(t *testing.T) {
 	if len(opens) != 9 {
 		t.Fatalf("Opens() returned %d opens, want 9", len(opens))
 	}
-	col := dram.NewColumn(dram.Default())
+	col := dram.MustNewColumn(dram.Default())
 	sites := map[string]bool{}
 	for _, s := range col.Sites() {
 		sites[s] = true
@@ -35,7 +35,7 @@ func TestOpensCoverAllNineSites(t *testing.T) {
 }
 
 func TestFloatGroupNetsExist(t *testing.T) {
-	col := dram.NewColumn(dram.Default())
+	col := dram.MustNewColumn(dram.Default())
 	eng := col.Engine()
 	for _, o := range Opens() {
 		for _, g := range o.Floats {

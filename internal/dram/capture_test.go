@@ -65,7 +65,7 @@ func TestCaptureCSVExport(t *testing.T) {
 }
 
 func TestCaptureValidation(t *testing.T) {
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	for name, fn := range map[string]func(){
 		"no nets":     func() { c.Capture() },
 		"unknown net": func() { c.Capture("nope") },

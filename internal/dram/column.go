@@ -87,20 +87,23 @@ const NumCells = 2
 type Column struct {
 	Tech Technology
 
-	ckt     *circuit.Circuit
-	eng     *spice.Engine
-	ctl     map[string]*device.VSource
-	ctlV    map[string]float64
-	sites   map[string]*device.Resistor
-	healthy map[string]float64
+	ckt      *circuit.Circuit
+	eng      *spice.Engine
+	ctl      map[string]*device.VSource
+	ctlV     map[string]float64
+	sites    map[string]*device.Resistor
+	healthy  map[string]float64
+	buildErr error
 
 	// Observe, when non-nil, is called after every transient step.
 	Observe func(*spice.Engine)
 }
 
 // NewColumn builds the column netlist for the given technology and powers
-// the rails. Call PowerUp before issuing operations.
-func NewColumn(tech Technology) *Column {
+// the rails. Call PowerUp before issuing operations. A non-nil error
+// means the netlist itself is malformed (duplicate designator, self-loop)
+// — a construction bug, not a defect under study.
+func NewColumn(tech Technology) (*Column, error) {
 	c := &Column{
 		Tech:    tech,
 		ckt:     circuit.New(),
@@ -110,26 +113,46 @@ func NewColumn(tech Technology) *Column {
 		healthy: map[string]float64{},
 	}
 	c.build()
+	if c.buildErr != nil {
+		return nil, fmt.Errorf("dram: building column netlist: %w", c.buildErr)
+	}
 	c.ckt.Freeze()
 	c.eng = spice.NewEngine(c.ckt, spice.DefaultOptions())
+	return c, nil
+}
+
+// MustNewColumn is NewColumn for contexts where the fixed built-in
+// netlist is known-good (tests, examples); it panics on build errors.
+func MustNewColumn(tech Technology) *Column {
+	c, err := NewColumn(tech)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
 // node is shorthand for net creation/lookup.
 func (c *Column) node(name string) int { return c.ckt.Node(name) }
 
+// add registers an element, retaining the first construction error.
+func (c *Column) add(e circuit.Element) {
+	if err := c.ckt.Add(e); err != nil && c.buildErr == nil {
+		c.buildErr = err
+	}
+}
+
 // addCtl creates a control voltage source on the named net, initially 0V.
 func (c *Column) addCtl(sig, net string) {
 	src := device.NewVSource("V_"+sig, c.node(net), 0, device.DC(0))
-	c.ckt.Add(src)
+	c.add(src)
 	c.ctl[sig] = src
 	c.ctlV[sig] = 0
 }
 
 // addSite creates a named open-defect-site resistor (healthy = RWire).
 func (c *Column) addSite(site string, a, b int) {
-	r := device.NewResistor("R_"+site, a, b, c.Tech.RWire)
-	c.ckt.Add(r)
+	r := device.NewResistor(SiteElementName(site), a, b, c.Tech.RWire)
+	c.add(r)
 	c.sites[site] = r
 	c.healthy[site] = c.Tech.RWire
 }
@@ -137,46 +160,50 @@ func (c *Column) addSite(site string, a, b int) {
 // addShortSite creates a named short/bridge-site resistor (healthy =
 // ROff, i.e. absent).
 func (c *Column) addShortSite(site string, a, b int) {
-	r := device.NewResistor("R_"+site, a, b, c.Tech.ROff)
-	c.ckt.Add(r)
+	r := device.NewResistor(SiteElementName(site), a, b, c.Tech.ROff)
+	c.add(r)
 	c.sites[site] = r
 	c.healthy[site] = c.Tech.ROff
 }
 
+// SiteElementName returns the designator of the series resistor that
+// models the named defect site, for analyses that address the netlist by
+// element (e.g. netlint's floating-line prediction).
+func SiteElementName(site string) string { return "R_" + site }
+
 func (c *Column) build() {
 	t := c.Tech
-	ckt := c.ckt
 	gnd := 0
 
 	// Rails.
 	vddn := c.node("vddn")
-	ckt.Add(device.NewVSource("V_vdd", vddn, gnd, device.DC(t.VDD)))
+	c.add(device.NewVSource("V_vdd", vddn, gnd, device.DC(t.VDD)))
 	vrefn := c.node("vref")
-	ckt.Add(device.NewVSource("V_refcell", vrefn, gnd, device.DC(t.VRefCell)))
+	c.add(device.NewVSource("V_refcell", vrefn, gnd, device.DC(t.VRefCell)))
 	vbleqS := c.node("vbleqS")
-	ckt.Add(device.NewVSource("V_bleq", vbleqS, gnd, device.DC(t.VBLEQ)))
+	c.add(device.NewVSource("V_bleq", vbleqS, gnd, device.DC(t.VBLEQ)))
 	// Each bit line has its own precharge feed (no equalizer bridging the
 	// pair), so an open in the BT feed — the paper's Open 3 — leaves BT
 	// floating while BC still precharges.
 	vbleqFT := c.node("vbleqFT")
 	c.addSite(SiteOpen3Pre, vbleqS, vbleqFT)
 	vbleqFC := c.node("vbleqFC")
-	ckt.Add(device.NewResistor("R_bleqC", vbleqS, vbleqFC, t.RWire))
+	c.add(device.NewResistor("R_bleqC", vbleqS, vbleqFC, t.RWire))
 
 	// Bit-line segments with capacitance and defect-site series resistors.
 	bt := []int{c.node(NetBTPre), c.node(NetBTCell), c.node(NetBTRef), c.node(NetBTSA), c.node(NetBTIO)}
 	bc := []int{c.node(NetBCPre), c.node(NetBCCell), c.node(NetBCRef), c.node(NetBCSA), c.node(NetBCIO)}
 	segC := []float64{t.CBLPre, t.CBLCell, t.CBLRef, t.CBLSA, t.CBLIO}
 	for i, n := range bt {
-		ckt.Add(device.NewCapacitor(fmt.Sprintf("C_bt%d", i), n, gnd, segC[i]))
-		ckt.Add(device.NewCapacitor(fmt.Sprintf("C_bc%d", i), bc[i], gnd, segC[i]))
+		c.add(device.NewCapacitor(fmt.Sprintf("C_bt%d", i), n, gnd, segC[i]))
+		c.add(device.NewCapacitor(fmt.Sprintf("C_bc%d", i), bc[i], gnd, segC[i]))
 	}
 	c.addSite(SiteOpen4BLPre, bt[0], bt[1])
 	c.addSite(SiteOpen5BLCell, bt[1], bt[2])
 	c.addSite(SiteOpen6BLRef, bt[2], bt[3])
 	c.addSite(SiteOpen8BLIO, bt[3], bt[4])
 	for i := 0; i < 4; i++ {
-		ckt.Add(device.NewResistor(fmt.Sprintf("R_bc%d", i), bc[i], bc[i+1], t.RWire))
+		c.add(device.NewResistor(fmt.Sprintf("R_bc%d", i), bc[i], bc[i+1], t.RWire))
 	}
 
 	nmos := device.DefaultNMOS()
@@ -186,27 +213,27 @@ func (c *Column) build() {
 	// Precharge devices: BT and BC to the precharge level.
 	c.addCtl(sigPre, "pre")
 	pre := c.node("pre")
-	ckt.Add(device.NewNMOS("M_pbt", bt[0], pre, vbleqFT, nmos))
-	ckt.Add(device.NewNMOS("M_pbc", bc[0], pre, vbleqFC, nmos))
+	c.add(device.NewNMOS("M_pbt", bt[0], pre, vbleqFT, nmos))
+	c.add(device.NewNMOS("M_pbc", bc[0], pre, vbleqFC, nmos))
 
 	// Victim cell (cell 0) on BT with Open 1 and Open 9 sites.
 	c.addCtl(sigWL0, "wl0d")
 	wl0d := c.node("wl0d")
 	wl0g := c.node(NetWL0Gate)
 	c.addSite(SiteOpen9WL, wl0d, wl0g)
-	ckt.Add(device.NewCapacitor("C_wl0g", wl0g, gnd, t.CWLGate))
+	c.add(device.NewCapacitor("C_wl0g", wl0g, gnd, t.CWLGate))
 	c0a := c.node("c0a")
-	ckt.Add(device.NewNMOS("M_c0", bt[1], wl0g, c0a, nmos))
+	c.add(device.NewNMOS("M_c0", bt[1], wl0g, c0a, nmos))
 	c0s := c.node(NetCell0Store)
 	c.addSite(SiteOpen1Cell, c0a, c0s)
-	ckt.Add(device.NewCapacitor("C_c0", c0s, gnd, t.CCell))
+	c.add(device.NewCapacitor("C_c0", c0s, gnd, t.CCell))
 
 	// Aggressor cell (cell 1) on the same BT, defect-free.
 	c.addCtl(sigWL1, "wl1")
 	wl1 := c.node("wl1")
 	c1s := c.node(NetCell1Store)
-	ckt.Add(device.NewNMOS("M_c1", bt[1], wl1, c1s, nmos))
-	ckt.Add(device.NewCapacitor("C_c1", c1s, gnd, t.CCell))
+	c.add(device.NewNMOS("M_c1", bt[1], wl1, c1s, nmos))
+	c.add(device.NewCapacitor("C_c1", c1s, gnd, t.CCell))
 
 	// Reference (dummy) cell on BC, fired when reading BT cells, with the
 	// Open 2 site; reset to VRefCell during precharge.
@@ -215,19 +242,19 @@ func (c *Column) build() {
 	dwlc := c.node("dwlc")
 	dref := c.node("dref")
 	dca := c.node("dca")
-	ckt.Add(device.NewNMOS("M_dc", bc[2], dwlc, dca, nmos))
+	c.add(device.NewNMOS("M_dc", bc[2], dwlc, dca, nmos))
 	dcs := c.node(NetRefStore)
 	c.addSite(SiteOpen2RefCell, dca, dcs)
-	ckt.Add(device.NewCapacitor("C_dc", dcs, gnd, t.CRefCell))
-	ckt.Add(device.NewNMOS("M_dcr", dcs, dref, vrefn, nmos))
+	c.add(device.NewCapacitor("C_dc", dcs, gnd, t.CRefCell))
+	c.add(device.NewNMOS("M_dcr", dcs, dref, vrefn, nmos))
 
 	// Mirror dummy cell on BT (fires for BC-side reads; structural only).
 	c.addCtl(sigDWLT, "dwlt")
 	dwlt := c.node("dwlt")
 	dts := c.node("dts")
-	ckt.Add(device.NewNMOS("M_dt", bt[2], dwlt, dts, nmos))
-	ckt.Add(device.NewCapacitor("C_dt", dts, gnd, t.CRefCell))
-	ckt.Add(device.NewNMOS("M_dtr", dts, dref, vrefn, nmos))
+	c.add(device.NewNMOS("M_dt", bt[2], dwlt, dts, nmos))
+	c.add(device.NewCapacitor("C_dt", dts, gnd, t.CRefCell))
+	c.add(device.NewNMOS("M_dtr", dts, dref, vrefn, nmos))
 
 	// Sense amplifier: cross-coupled pairs with enable devices; the Open 7
 	// site sits between the NMOS common source and its enable transistor.
@@ -239,23 +266,23 @@ func (c *Column) build() {
 	nmosStrong.W *= 1 + t.SAImbalance
 	pmosStrong := pmos
 	pmosStrong.W *= 1 + t.SAImbalance
-	ckt.Add(device.NewNMOS("M_sn1", bt[3], bc[3], san, nmos))
-	ckt.Add(device.NewNMOS("M_sn2", bc[3], bt[3], san, nmosStrong))
-	ckt.Add(device.NewPMOS("M_sp1", bt[3], bc[3], sap, pmosStrong))
-	ckt.Add(device.NewPMOS("M_sp2", bc[3], bt[3], sap, pmos))
-	ckt.Add(device.NewCapacitor("C_san", san, gnd, t.CSACommon))
-	ckt.Add(device.NewCapacitor("C_sap", sap, gnd, t.CSACommon))
+	c.add(device.NewNMOS("M_sn1", bt[3], bc[3], san, nmos))
+	c.add(device.NewNMOS("M_sn2", bc[3], bt[3], san, nmosStrong))
+	c.add(device.NewPMOS("M_sp1", bt[3], bc[3], sap, pmosStrong))
+	c.add(device.NewPMOS("M_sp2", bc[3], bt[3], sap, pmos))
+	c.add(device.NewCapacitor("C_san", san, gnd, t.CSACommon))
+	c.add(device.NewCapacitor("C_sap", sap, gnd, t.CSACommon))
 	c.addCtl(sigSEN, "sen")
 	c.addCtl(sigSENB, "senb")
 	sanE := c.node("sanE")
 	c.addSite(SiteOpen7SA, san, sanE)
 	senNode := c.node("sen")
 	senbNode := c.node("senb")
-	ckt.Add(device.NewNMOS("M_sen", sanE, senNode, gnd, nmos))
-	ckt.Add(device.NewPMOS("M_sep", sap, senbNode, vddn, pmos))
+	c.add(device.NewNMOS("M_sen", sanE, senNode, gnd, nmos))
+	c.add(device.NewPMOS("M_sep", sap, senbNode, vddn, pmos))
 	// SA common nodes precharge from the healthy feed.
-	ckt.Add(device.NewNMOS("M_psan", san, pre, vbleqFC, nmos))
-	ckt.Add(device.NewNMOS("M_psap", sap, pre, vbleqFC, nmos))
+	c.add(device.NewNMOS("M_psan", san, pre, vbleqFC, nmos))
+	c.add(device.NewNMOS("M_psap", sap, pre, vbleqFC, nmos))
 
 	// Column select into the IO pair; wider devices so the write driver
 	// can overpower the sense amplifier.
@@ -265,10 +292,10 @@ func (c *Column) build() {
 	csn.W = 4e-6
 	io := c.node(NetIO)
 	iob := c.node(NetIOB)
-	ckt.Add(device.NewNMOS("M_cs1", bt[4], csl, io, csn))
-	ckt.Add(device.NewNMOS("M_cs2", bc[4], csl, iob, csn))
-	ckt.Add(device.NewCapacitor("C_io", io, gnd, t.CIO))
-	ckt.Add(device.NewCapacitor("C_iob", iob, gnd, t.CIO))
+	c.add(device.NewNMOS("M_cs1", bt[4], csl, io, csn))
+	c.add(device.NewNMOS("M_cs2", bc[4], csl, iob, csn))
+	c.add(device.NewCapacitor("C_io", io, gnd, t.CIO))
+	c.add(device.NewCapacitor("C_iob", iob, gnd, t.CIO))
 
 	// Write driver: switched rail drivers onto IO/IOB.
 	c.addCtl(sigWD, "wd")
@@ -278,16 +305,16 @@ func (c *Column) build() {
 	wdb := c.node("wdb")
 	c.addCtl(sigWEN, "wen")
 	wen := c.node("wen")
-	ckt.Add(device.NewSwitch("SW_wd", io, wd, wen, gnd, t.VDD/2, t.RWriteDriver, t.ROff))
-	ckt.Add(device.NewSwitch("SW_wdb", iob, wdb, wen, gnd, t.VDD/2, t.RWriteDriver, t.ROff))
+	c.add(device.NewSwitch("SW_wd", io, wd, wen, gnd, t.VDD/2, t.RWriteDriver, t.ROff))
+	c.add(device.NewSwitch("SW_wdb", iob, wdb, wen, gnd, t.VDD/2, t.RWriteDriver, t.ROff))
 
 	// Read output buffer: sampled from IO through a switch; the hold cap
 	// keeps the last read value — the "state of the output buffer" the
 	// paper treats as a floating initialization target.
 	ren := c.node("ren")
 	obuf := c.node(NetOutBuf)
-	ckt.Add(device.NewSwitch("SW_out", io, obuf, ren, gnd, t.VDD/2, t.ROutSwitch, t.ROff))
-	ckt.Add(device.NewCapacitor("C_out", obuf, gnd, t.COut))
+	c.add(device.NewSwitch("SW_out", io, obuf, ren, gnd, t.VDD/2, t.ROutSwitch, t.ROff))
+	c.add(device.NewCapacitor("C_out", obuf, gnd, t.COut))
 
 	// Short/bridge sites (absent when healthy).
 	c.addShortSite(SiteShortCellGnd, c0s, gnd)
@@ -299,6 +326,10 @@ func (c *Column) build() {
 // Engine exposes the underlying transient engine (used by the analysis to
 // set floating node voltages).
 func (c *Column) Engine() *spice.Engine { return c.eng }
+
+// Circuit exposes the underlying netlist for static analysis (netlint).
+// Callers must not mutate it.
+func (c *Column) Circuit() *circuit.Circuit { return c.ckt }
 
 // SetSiteResistance injects an open of the given resistance at the named
 // defect site. Restoring health means setting it back to Tech.RWire.

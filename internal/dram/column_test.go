@@ -7,7 +7,7 @@ import (
 // newTestColumn powers up a healthy column, failing the test on error.
 func newTestColumn(t *testing.T) *Column {
 	t.Helper()
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	if err := c.PowerUp(); err != nil {
 		t.Fatalf("PowerUp: %v", err)
 	}
@@ -125,7 +125,7 @@ func TestReferenceCellRestoredByPrecharge(t *testing.T) {
 }
 
 func TestHealthySiteResistances(t *testing.T) {
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	opens, shorts := 0, 0
 	for _, s := range c.Sites() {
 		h := c.HealthyResistance(s)
@@ -150,7 +150,7 @@ func TestHealthySiteResistances(t *testing.T) {
 }
 
 func TestRestoreSite(t *testing.T) {
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	c.SetSiteResistance(SiteOpen4BLPre, 1e6)
 	c.RestoreSite(SiteOpen4BLPre)
 	if r := c.SiteResistance(SiteOpen4BLPre); r != c.Tech.RWire {
@@ -195,7 +195,7 @@ func TestBridgedBitLinesBreakSensing(t *testing.T) {
 }
 
 func TestSetSiteResistanceUnknownPanics(t *testing.T) {
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	defer func() {
 		if recover() == nil {
 			t.Error("unknown site should panic")
@@ -217,7 +217,7 @@ func TestCellBitClassification(t *testing.T) {
 }
 
 func TestWritePanicsOnBadData(t *testing.T) {
-	c := NewColumn(Default())
+	c := MustNewColumn(Default())
 	defer func() {
 		if recover() == nil {
 			t.Error("Write with bit=2 should panic")

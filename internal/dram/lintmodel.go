@@ -1,0 +1,82 @@
+package dram
+
+import "github.com/memtest/partialfaults/internal/netlint"
+
+// LintModel returns the phase-aware netlint model of the column: which
+// control nets are high in each operating phase of the controller's
+// schedule, which elements form the regenerating sense-amplifier latch,
+// and which phases are responsible for establishing each interesting
+// net's state. netlint uses it to predict, per injected open, the set of
+// floating lines — the static counterpart of the paper's Table 1.
+//
+// The phases mirror internal/dram/controller.go:
+//
+//   - precharge: pre and dref high (bit lines, SA commons and both dummy
+//     cells restored), everything else low.
+//   - sense0/sense1: word line 0/1 and the BC-side dummy word line high,
+//     SA enabled (sen high, senb low). Cell state is restored through the
+//     latch.
+//   - write0/write1: like sense, plus column select and the write
+//     enable, so the write driver reaches the cell through IO.
+//   - readout: column select and read enable high while the word line is
+//     still up; the output buffer samples IO.
+//
+// Roles encode what "floating" means per net class: bit lines, SA
+// commons and the BT-side dummy cell are established by precharge;
+// storage cells by their write and sense phases; the BC-side reference
+// cell by the sensing that uses it; the word-line gate by every phase
+// (its driver must always reach it); the output buffer and IO by
+// readout.
+func LintModel() netlint.Model {
+	// Control nets left out of a phase's Levels are unknown and gate
+	// nothing on; only senb needs an explicit level everywhere because it
+	// gates a PMOS (active-low), where unknown and low differ.
+	sense := func(wl string) map[string]bool {
+		return map[string]bool{wl: true, sigDWLC: true, sigSEN: true, sigSENB: false}
+	}
+	write := func(wl string) map[string]bool {
+		m := sense(wl)
+		m[sigCSL] = true
+		m[sigWEN] = true
+		return m
+	}
+	readout := sense("wl0d")
+	readout[sigCSL] = true
+	readout[sigREN] = true
+
+	allPhases := []string{"precharge", "sense0", "sense1", "write0", "write1", "readout"}
+	roles := map[string][]string{
+		NetCell0Store: {"write0", "sense0"},
+		NetCell1Store: {"write1", "sense1"},
+		NetRefStore:   {"sense0"},
+		"dts":         {"precharge"},
+		NetWL0Gate:    allPhases,
+		NetOutBuf:     {"readout"},
+		NetIO:         {"readout"},
+	}
+	for _, bl := range []string{
+		NetBTPre, NetBTCell, NetBTRef, NetBTSA, NetBTIO,
+		NetBCPre, NetBCCell, NetBCRef, NetBCSA, NetBCIO,
+		NetSAN, NetSAP,
+	} {
+		roles[bl] = []string{"precharge"}
+	}
+
+	return netlint.Model{
+		Phases: []netlint.Phase{
+			{Name: "precharge", Levels: map[string]bool{sigPre: true, sigDRef: true, sigSENB: true}},
+			{Name: "sense0", Levels: sense("wl0d")},
+			{Name: "sense1", Levels: sense(sigWL1)},
+			{Name: "write0", Levels: write("wl0d")},
+			{Name: "write1", Levels: write(sigWL1)},
+			{Name: "readout", Levels: readout},
+		},
+		Latches: []netlint.Latch{{
+			Elements: []string{"M_sn1", "M_sn2", "M_sp1", "M_sp2"},
+			Requires: [][2]string{{NetSAN, "0"}, {NetSAP, "vddn"}},
+			ActiveIn: []string{"sense0", "sense1", "write0", "write1", "readout"},
+		}},
+		Roles:      roles,
+		CutoffOhms: 1e9,
+	}
+}

@@ -1,0 +1,269 @@
+// Package golint is the project-code static-analysis layer: a small,
+// stdlib-only (go/parser, go/ast, go/types) linter enforcing the
+// numerical and MNA-stamping conventions this codebase depends on:
+//
+//   - float-eq: no == or != between floating-point values in the
+//     numerical packages; exact equality is only meaningful against the
+//     literal zero (sparsity and pivot checks).
+//   - bench-hygiene: benchmark functions that loop over b.N must call
+//     b.ResetTimer (setup excluded from timing) and b.ReportAllocs
+//     (allocation regressions visible).
+//   - stamp-ground-guard: inside stamping code, any matrix or RHS access
+//     through an "index minus one" expression must be dominated by a
+//     guard proving the index is not ground (node 0 has no MNA row;
+//     x-1 would underflow into another net's row or panic).
+//   - ignored-error: error results from the netlist-construction
+//     packages must not be discarded; a swallowed construction error
+//     means simulating a circuit that was never built.
+//
+// Findings are suppressed by a `//lint:ignore <rule> <reason>` comment
+// on the offending line or the line above it.
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// Config selects what to analyze and where the convention-bearing
+// packages live.
+type Config struct {
+	// Dir is the filesystem root of the module to analyze.
+	Dir string
+	// ModulePath is the module's import path (go.mod's module line);
+	// discovered from Dir/go.mod when empty.
+	ModulePath string
+	// FloatEqPkgs are package-path suffixes subject to the float-eq rule.
+	FloatEqPkgs []string
+	// ErrPkgs are package-path suffixes whose error results must not be
+	// discarded (the ignored-error rule).
+	ErrPkgs []string
+}
+
+// DefaultConfig returns the repository configuration: float equality is
+// policed in the numerical core, ignored errors on the netlist
+// construction paths.
+func DefaultConfig(dir string) Config {
+	return Config{
+		Dir:         dir,
+		FloatEqPkgs: []string{"internal/numeric", "internal/spice", "internal/behav"},
+		ErrPkgs:     []string{"internal/circuit", "internal/dram"},
+	}
+}
+
+// pkg is one loaded (and, for non-test files, type-checked) package.
+type pkg struct {
+	path      string // import path
+	dir       string
+	files     []*ast.File // non-test files, type-checked
+	testFiles []*ast.File // _test.go files, syntax only
+	tpkg      *types.Package
+	info      *types.Info
+}
+
+// Run loads every package under the configured root and applies all
+// rules. The returned findings are sorted; the error covers I/O,
+// parse, and type-check failures (a package that does not type-check
+// cannot be linted honestly).
+func Run(cfg Config) (lint.Findings, error) {
+	if cfg.ModulePath == "" {
+		mp, err := modulePath(filepath.Join(cfg.Dir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = mp
+	}
+	fset := token.NewFileSet()
+	pkgs, err := load(fset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out lint.Findings
+	for _, p := range pkgs {
+		c := &checker{cfg: cfg, fset: fset, pkg: p, root: cfg.Dir}
+		c.run()
+		out = append(out, c.findings...)
+	}
+	out.Sort()
+	return out, nil
+}
+
+// modulePath extracts the module line from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("golint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("golint: %s has no module line", gomod)
+}
+
+// load parses every package directory under cfg.Dir (skipping testdata,
+// vendor and hidden directories), topologically sorts the packages by
+// their intra-module imports, and type-checks the non-test files with a
+// delegating importer: module-internal imports resolve to the packages
+// checked earlier, everything else to the source importer.
+func load(fset *token.FileSet, cfg Config) ([]*pkg, error) {
+	byPath := map[string]*pkg{}
+	var order []string
+	err := filepath.WalkDir(cfg.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != cfg.Dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(cfg.Dir, dir)
+		if err != nil {
+			return err
+		}
+		imp := cfg.ModulePath
+		if rel != "." {
+			imp = cfg.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p := byPath[imp]
+		if p == nil {
+			p = &pkg{path: imp, dir: dir}
+			byPath[imp] = p
+			order = append(order, imp)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("golint: %w", err)
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			p.testFiles = append(p.testFiles, f)
+		} else {
+			p.files = append(p.files, f)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sorted, err := topoSort(byPath, order, cfg.ModulePath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &delegatingImporter{
+		mod: map[string]*types.Package{},
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, p := range sorted {
+		if len(p.files) == 0 {
+			continue
+		}
+		p.info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		tc := types.Config{Importer: imp}
+		tpkg, err := tc.Check(p.path, fset, p.files, p.info)
+		if err != nil {
+			return nil, fmt.Errorf("golint: type-checking %s: %w", p.path, err)
+		}
+		p.tpkg = tpkg
+		imp.mod[p.path] = tpkg
+	}
+	return sorted, nil
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer.
+func topoSort(byPath map[string]*pkg, order []string, modPath string) ([]*pkg, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var sorted []*pkg
+	var visit func(string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("golint: import cycle through %s", path)
+		}
+		color[path] = gray
+		p := byPath[path]
+		for _, f := range p.files {
+			for _, spec := range f.Imports {
+				target, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, ok := byPath[target]; ok && strings.HasPrefix(target, modPath) {
+					if err := visit(target); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[path] = black
+		sorted = append(sorted, p)
+		return nil
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return sorted, nil
+}
+
+// delegatingImporter resolves module-internal paths from the packages
+// type-checked so far and everything else through the stdlib source
+// importer.
+type delegatingImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (i *delegatingImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.mod[path]; ok {
+		return p, nil
+	}
+	return i.std.Import(path)
+}
+
+// pathMatches reports whether an import path ends with one of the
+// configured suffixes (matched at a path-segment boundary).
+func pathMatches(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

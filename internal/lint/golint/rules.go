@@ -1,0 +1,472 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// checker applies every rule to one package.
+type checker struct {
+	cfg      Config
+	fset     *token.FileSet
+	pkg      *pkg
+	root     string
+	findings lint.Findings
+
+	supp map[int][]string // line → suppressed rules, current file
+}
+
+func (c *checker) run() {
+	for _, f := range c.pkg.files {
+		c.supp = suppressions(f, c.fset)
+		if pathMatches(c.pkg.path, c.cfg.FloatEqPkgs) {
+			c.floatEq(f)
+		}
+		c.ignoredError(f)
+		c.stampGuard(f)
+		c.benchHygiene(f)
+	}
+	for _, f := range c.pkg.testFiles {
+		c.supp = suppressions(f, c.fset)
+		// Test files are not type-checked; only the syntactic rules run.
+		c.stampGuard(f)
+		c.benchHygiene(f)
+	}
+}
+
+// add records a finding unless a lint:ignore comment covers its line.
+func (c *checker) add(pos token.Pos, rule, msg string) {
+	p := c.fset.Position(pos)
+	for _, r := range c.supp[p.Line] {
+		if r == rule {
+			return
+		}
+	}
+	file := p.Filename
+	if rel, err := filepath.Rel(c.root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	c.findings = append(c.findings, lint.Finding{
+		Layer: "go", Rule: rule, Severity: lint.Error,
+		Subject: fmt.Sprintf("%s:%d", file, p.Line),
+		Message: msg,
+	})
+}
+
+// suppressions maps source lines to the rules a `//lint:ignore <rule>
+// <reason>` comment disables there. A comment covers its own line and
+// the next one, so both trailing and preceding placement work.
+func suppressions(f *ast.File, fset *token.FileSet) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "lint:ignore ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(cm.Pos()).Line
+			out[line] = append(out[line], fields[0])
+			out[line+1] = append(out[line+1], fields[0])
+		}
+	}
+	return out
+}
+
+// ---- float-eq -------------------------------------------------------
+
+// floatEq flags == and != between floating-point operands. Comparison
+// against an exact constant zero is allowed: zero is the one float with
+// a meaningful exact test (sparsity, pivot singularity).
+func (c *checker) floatEq(f *ast.File) {
+	info := c.pkg.info
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	isZero := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil && constant.Sign(tv.Value) == 0
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(be.X) && !isFloat(be.Y) {
+			return true
+		}
+		if isZero(be.X) || isZero(be.Y) {
+			return true
+		}
+		c.add(be.OpPos, "float-eq", fmt.Sprintf(
+			"floating-point %s comparison; exact equality only holds by accident — compare against a tolerance (or the literal 0)", be.Op))
+		return true
+	})
+}
+
+// ---- ignored-error --------------------------------------------------
+
+// ignoredError flags discarded error results from the configured
+// construction packages: a dropped netlist-construction error means the
+// rest of the program simulates a circuit that was never built.
+func (c *checker) ignoredError(f *ast.File) {
+	info := c.pkg.info
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+
+	calleeMatches := func(call *ast.CallExpr) (string, bool) {
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = info.Uses[fun.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		if !pathMatches(fn.Pkg().Path(), c.cfg.ErrPkgs) {
+			return "", false
+		}
+		return fn.Name(), true
+	}
+	// resultErrs returns which result positions of the call are errors.
+	resultErrs := func(call *ast.CallExpr) []bool {
+		tv, ok := info.Types[call]
+		if !ok || tv.Type == nil {
+			return nil
+		}
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			out := make([]bool, tuple.Len())
+			for i := 0; i < tuple.Len(); i++ {
+				out[i] = isErr(tuple.At(i).Type())
+			}
+			return out
+		}
+		return []bool{isErr(tv.Type)}
+	}
+	hasErr := func(errs []bool) bool {
+		for _, e := range errs {
+			if e {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := calleeMatches(call)
+			if !ok || !hasErr(resultErrs(call)) {
+				return true
+			}
+			c.add(call.Pos(), "ignored-error", fmt.Sprintf(
+				"result of %s includes an error that is silently discarded; a swallowed construction error leaves the netlist in an unknown state", name))
+		case *ast.AssignStmt:
+			// Both n-to-n and 1-call-to-n assignments: flag blanks bound
+			// to error results of matching callees.
+			if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := calleeMatches(call)
+				if !ok {
+					return true
+				}
+				errs := resultErrs(call)
+				for i, lhs := range stmt.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && i < len(errs) && errs[i] {
+						c.add(id.Pos(), "ignored-error", fmt.Sprintf(
+							"error result of %s assigned to the blank identifier", name))
+					}
+				}
+				return true
+			}
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(stmt.Lhs) {
+					continue
+				}
+				id, ok := stmt.Lhs[i].(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				name, ok := calleeMatches(call)
+				if !ok {
+					continue
+				}
+				if errs := resultErrs(call); len(errs) == 1 && errs[0] {
+					c.add(id.Pos(), "ignored-error", fmt.Sprintf(
+						"error result of %s assigned to the blank identifier", name))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ---- stamp-ground-guard ---------------------------------------------
+
+// stampGuard checks MNA stamping code: any ctx.A.Add argument or ctx.B
+// index of the form `x - 1` must appear under an if proving x is not
+// the ground node (x != 0 or x > 0). Node 0 has no matrix row, so an
+// unguarded x-1 either corrupts another net's row or indexes out of
+// bounds.
+func (c *checker) stampGuard(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ctxName, ok := stampCtxName(fd)
+		if !ok {
+			continue
+		}
+		c.guardWalk(fd.Body, ctxName, map[string]bool{})
+	}
+}
+
+// stampCtxName finds the receiver or parameter of type *StampContext
+// (any package qualifier) and returns its name.
+func stampCtxName(fd *ast.FuncDecl) (string, bool) {
+	var lists []*ast.FieldList
+	if fd.Recv != nil {
+		lists = append(lists, fd.Recv)
+	}
+	lists = append(lists, fd.Type.Params)
+	for _, fl := range lists {
+		for _, field := range fl.List {
+			star, ok := field.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			var typeName string
+			switch t := star.X.(type) {
+			case *ast.Ident:
+				typeName = t.Name
+			case *ast.SelectorExpr:
+				typeName = t.Sel.Name
+			}
+			if typeName != "StampContext" || len(field.Names) == 0 {
+				continue
+			}
+			return field.Names[0].Name, true
+		}
+	}
+	return "", false
+}
+
+// guardWalk traverses a statement tree tracking which index expressions
+// the enclosing ifs have proven non-ground.
+func (c *checker) guardWalk(n ast.Node, ctxName string, guarded map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.IfStmt:
+			g2 := map[string]bool{}
+			for k := range guarded {
+				g2[k] = true
+			}
+			collectGroundGuards(x.Cond, g2)
+			if x.Init != nil {
+				c.guardWalk(x.Init, ctxName, guarded)
+			}
+			c.guardWalk(x.Cond, ctxName, guarded)
+			c.guardWalk(x.Body, ctxName, g2)
+			if x.Else != nil {
+				c.guardWalk(x.Else, ctxName, guarded)
+			}
+			return false
+		case *ast.CallExpr:
+			if isMatrixAdd(x.Fun, ctxName) {
+				for _, arg := range x.Args {
+					c.checkIndex(arg, guarded)
+				}
+			}
+		case *ast.IndexExpr:
+			if isCtxField(x.X, ctxName, "B") {
+				c.checkIndex(x.Index, guarded)
+			}
+		}
+		return true
+	})
+}
+
+// checkIndex flags `expr - 1` indices whose base expression is not in
+// the guarded set.
+func (c *checker) checkIndex(e ast.Expr, guarded map[string]bool) {
+	base, ok := minusOne(e)
+	if !ok {
+		return
+	}
+	key := types.ExprString(base)
+	if guarded[key] {
+		return
+	}
+	c.add(e.Pos(), "stamp-ground-guard", fmt.Sprintf(
+		"%s-1 used as an MNA index without a dominating `if %s != 0` guard; ground (node 0) has no matrix row", key, key))
+}
+
+// collectGroundGuards extracts the expressions a condition proves
+// non-zero: `x != 0`, `0 != x`, `x > 0`, combined with &&.
+func collectGroundGuards(cond ast.Expr, into map[string]bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			collectGroundGuards(e.X, into)
+			collectGroundGuards(e.Y, into)
+		case token.NEQ:
+			if isZeroLit(e.Y) {
+				into[types.ExprString(ast.Unparen(e.X))] = true
+			} else if isZeroLit(e.X) {
+				into[types.ExprString(ast.Unparen(e.Y))] = true
+			}
+		case token.GTR:
+			if isZeroLit(e.Y) {
+				into[types.ExprString(ast.Unparen(e.X))] = true
+			}
+		}
+	}
+}
+
+// minusOne matches `base - 1` and returns base.
+func minusOne(e ast.Expr) (ast.Expr, bool) {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.SUB {
+		return nil, false
+	}
+	lit, ok := be.Y.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT || lit.Value != "1" {
+		return nil, false
+	}
+	return ast.Unparen(be.X), true
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// isMatrixAdd matches `ctx.A.Add` for the given context variable name.
+func isMatrixAdd(fun ast.Expr, ctxName string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	return isCtxField(sel.X, ctxName, "A")
+}
+
+// isCtxField matches `ctx.<field>`.
+func isCtxField(e ast.Expr, ctxName, field string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != field {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == ctxName
+}
+
+// ---- bench-hygiene --------------------------------------------------
+
+// benchHygiene checks every function (declaration or literal) with a
+// *testing.B parameter: if it loops over b.N it must call b.ResetTimer
+// (so setup cost is excluded) and b.ReportAllocs (so allocation
+// regressions show up in CI output).
+func (c *checker) benchHygiene(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ftype, body = fn.Type, fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		bName, ok := testingBParam(ftype)
+		if !ok {
+			return true
+		}
+		usesN := false
+		called := map[string]bool{}
+		ast.Inspect(body, func(m ast.Node) bool {
+			sel, ok := m.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != bName {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "N":
+				usesN = true
+			case "ResetTimer", "ReportAllocs", "Run":
+				called[sel.Sel.Name] = true
+			}
+			return true
+		})
+		if !usesN || called["Run"] {
+			return true // helper or sub-benchmark dispatcher
+		}
+		var missing []string
+		for _, want := range []string{"ResetTimer", "ReportAllocs"} {
+			if !called[want] {
+				missing = append(missing, bName+"."+want)
+			}
+		}
+		if len(missing) > 0 {
+			c.add(ftype.Pos(), "bench-hygiene", fmt.Sprintf(
+				"benchmark loops over %s.N but never calls %s", bName, strings.Join(missing, " or ")))
+		}
+		return true
+	})
+}
+
+// testingBParam finds a parameter of type *testing.B and returns its
+// name.
+func testingBParam(ftype *ast.FuncType) (string, bool) {
+	for _, field := range ftype.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "B" {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "testing" || len(field.Names) == 0 {
+			continue
+		}
+		return field.Names[0].Name, true
+	}
+	return "", false
+}

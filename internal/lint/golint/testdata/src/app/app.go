@@ -1,0 +1,87 @@
+// Package app exercises the ignored-error and stamp-ground-guard rules.
+package app
+
+import "example.com/fix/internal/circuit"
+
+// BadDropped discards Build's error outright: one ignored-error finding.
+func BadDropped() {
+	circuit.Build() // want ignored-error
+}
+
+// BadBlank assigns the lone error to the blank identifier.
+func BadBlank() {
+	_ = circuit.Build() // want ignored-error
+}
+
+// BadTupleBlank discards the error half of a tuple result.
+func BadTupleBlank() *circuit.Matrix {
+	m, _ := circuit.New() // want ignored-error
+	return m
+}
+
+// GoodHandled checks the error.
+func GoodHandled() error {
+	if err := circuit.Build(); err != nil {
+		return err
+	}
+	m, err := circuit.New()
+	if err != nil {
+		return err
+	}
+	_ = m
+	return nil
+}
+
+// Suppressed documents why dropping is fine here.
+func Suppressed() {
+	//lint:ignore ignored-error fixture exercising the suppression path
+	circuit.Build()
+}
+
+// BadStamp indexes A and B with unguarded node-1 arithmetic: three
+// stamp-ground-guard findings.
+type BadStamp struct{ a, b int }
+
+// Stamp is missing every ground guard.
+func (d *BadStamp) Stamp(ctx *circuit.StampContext) {
+	ctx.A.Add(d.a-1, d.a-1, 1) // want stamp-ground-guard ×2
+	ctx.B[d.b-1] += 1          // want stamp-ground-guard
+}
+
+// GoodStamp guards each node index before subtracting.
+type GoodStamp struct{ a, b int }
+
+// Stamp follows the convention.
+func (d *GoodStamp) Stamp(ctx *circuit.StampContext) {
+	if d.a != 0 {
+		ctx.A.Add(d.a-1, d.a-1, 1)
+	}
+	if d.a != 0 && d.b != 0 {
+		ctx.A.Add(d.a-1, d.b-1, -1)
+	}
+	if d.b > 0 {
+		ctx.B[d.b-1] += 1
+	}
+	br := 3
+	ctx.B[br] += 1 // plain branch index: no subtraction, no guard needed
+}
+
+// HelperStamp guards inside a closure, like the real transconductance
+// helper.
+func HelperStamp(ctx *circuit.StampContext, outP, outN int) {
+	add := func(r, c int, v float64) {
+		if r != 0 && c != 0 {
+			ctx.A.Add(r-1, c-1, v)
+		}
+	}
+	add(outP, outN, 1)
+}
+
+// ElseIsNotGuarded subtracts in the branch where the node IS ground.
+func ElseIsNotGuarded(ctx *circuit.StampContext, n int) {
+	if n != 0 {
+		ctx.B[n-1] += 1
+	} else {
+		ctx.B[n-1] += 1 // want stamp-ground-guard
+	}
+}

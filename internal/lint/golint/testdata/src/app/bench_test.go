@@ -1,0 +1,54 @@
+package app
+
+import "testing"
+
+func expensiveSetup() int { return 42 }
+
+// BenchmarkBad loops over b.N without timer or allocation hygiene: one
+// bench-hygiene finding naming both missing calls.
+func BenchmarkBad(b *testing.B) { // want bench-hygiene
+	x := expensiveSetup()
+	for i := 0; i < b.N; i++ {
+		_ = x
+	}
+}
+
+// BenchmarkHalf resets the timer but forgets ReportAllocs.
+func BenchmarkHalf(b *testing.B) { // want bench-hygiene
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// BenchmarkGood does both.
+func BenchmarkGood(b *testing.B) {
+	x := expensiveSetup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x
+	}
+}
+
+// BenchmarkDispatch only fans out to sub-benchmarks; the hygiene calls
+// belong in the closures.
+func BenchmarkDispatch(b *testing.B) {
+	b.Run("sub", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+		}
+	})
+	b.Run("bad-sub", func(b *testing.B) { // want bench-hygiene
+		for i := 0; i < b.N; i++ {
+		}
+	})
+}
+
+// BenchmarkSuppressed documents why the timer must keep running.
+//
+//lint:ignore bench-hygiene fixture exercising the suppression path
+func BenchmarkSuppressed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}

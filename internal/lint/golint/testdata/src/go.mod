@@ -1,0 +1,3 @@
+module example.com/fix
+
+go 1.22

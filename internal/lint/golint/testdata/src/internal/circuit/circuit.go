@@ -1,0 +1,23 @@
+// Package circuit is a stand-in for the real netlist package so the
+// ignored-error and stamp-ground-guard fixtures type-check standalone.
+package circuit
+
+import "errors"
+
+// Matrix mimics the MNA matrix surface the guard rule matches on.
+type Matrix struct{}
+
+// Add accumulates into the matrix.
+func (m *Matrix) Add(r, c int, v float64) {}
+
+// StampContext mimics the real stamping context.
+type StampContext struct {
+	A *Matrix
+	B []float64
+}
+
+// Build returns only an error.
+func Build() error { return errors.New("boom") }
+
+// New returns a value and an error.
+func New() (*Matrix, error) { return nil, errors.New("boom") }

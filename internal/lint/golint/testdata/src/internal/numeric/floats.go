@@ -1,0 +1,45 @@
+// Package numeric is a float-eq rule fixture.
+package numeric
+
+const eps = 1e-12
+
+// BadEqual compares floats exactly: one float-eq finding.
+func BadEqual(a, b float64) bool {
+	return a == b // want float-eq
+}
+
+// BadNotEqual compares floats exactly via !=: one float-eq finding.
+func BadNotEqual(a, b float32) bool {
+	return a != b // want float-eq
+}
+
+// GoodZero compares against the literal zero: allowed.
+func GoodZero(a float64) bool {
+	return a == 0
+}
+
+// GoodConstZero compares against a constant that is exactly zero.
+func GoodConstZero(a float64) bool {
+	const zero = 0.0
+	return a != zero
+}
+
+// GoodTolerance is the sanctioned idiom.
+func GoodTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// Suppressed documents a deliberate exact comparison.
+func Suppressed(a, b float64) bool {
+	//lint:ignore float-eq bit-exact comparison is the point of this fixture
+	return a == b
+}
+
+// IntsAreFine never involves floats.
+func IntsAreFine(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,143 @@
+// Package lint defines the shared finding model of the static-analysis
+// layer: netlist lint (internal/netlint), march-test lint
+// (internal/march), and the Go project linter (internal/lint/golint) all
+// report their results as Findings, which cmd/pflint aggregates and
+// internal/report formats.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severities, in increasing gravity. Errors fail a lint run (nonzero
+// exit); warnings are reported but do not fail; info findings are
+// diagnostic context printed only on request.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one static-analysis result.
+type Finding struct {
+	// Layer identifies the analysis layer ("netlist", "march", "go").
+	Layer string
+	// Rule is the stable rule identifier (e.g. "floating-net",
+	// "contradictory-read", "float-eq").
+	Rule string
+	// Severity grades the finding.
+	Severity Severity
+	// Subject locates the finding: a net or element name, a march test
+	// name, or a file:line position.
+	Subject string
+	// Message explains the finding. To suppress a golint finding, add a
+	// `//lint:ignore <rule>` comment on the flagged line; netlist and
+	// march findings have no suppression — fix the input instead.
+	Message string
+}
+
+// String renders "layer/rule severity subject: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s %s [%s/%s]: %s", f.Subject, f.Severity, f.Layer, f.Rule, f.Message)
+}
+
+// Findings is a sortable, filterable collection.
+type Findings []Finding
+
+// Sort orders findings by severity (errors first), then layer, rule and
+// subject — a stable presentation order for reports and tests.
+func (fs Findings) Sort() {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Count returns how many findings have at least the given severity.
+func (fs Findings) Count(min Severity) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// AtLeast returns the findings with at least the given severity.
+func (fs Findings) AtLeast(min Severity) Findings {
+	var out Findings
+	for _, f := range fs {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByRule returns the findings carrying the given rule identifier.
+func (fs Findings) ByRule(rule string) Findings {
+	var out Findings
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line count, e.g. "2 errors, 1 warning".
+func (fs Findings) Summary() string {
+	errs, warns, infos := 0, 0, 0
+	for _, f := range fs {
+		switch f.Severity {
+		case Error:
+			errs++
+		case Warning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	parts := []string{plural(errs, "error"), plural(warns, "warning")}
+	if infos > 0 {
+		parts = append(parts, plural(infos, "info finding"))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("1 %s", noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}

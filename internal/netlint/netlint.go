@@ -1,0 +1,304 @@
+// Package netlint is the netlist static-analysis layer: a graph analyzer
+// over circuit.Circuit that — without any transient simulation — finds
+// floating nets, proves MNA solvability properties (voltage-source
+// loops, nets solvable only through gmin, dangling nets, duplicate
+// designators), and predicts the floating-line set a resistive open
+// produces, the paper's Section 2 analysis performed symbolically.
+//
+// The analyzer sees elements through circuit.Topological: resistors are
+// unconditional conduction paths (treated as disconnected above a cutoff
+// resistance, the static equivalent of an injected open), MOSFET and
+// switch channels are gated paths, capacitors couple charge but conduct
+// no DC, and voltage sources anchor their nets. Phase models
+// (netlint.Model, supplied by the netlist owner, e.g. dram.LintModel)
+// describe which control nets are high in each operating phase so the
+// per-phase drive analysis can mirror the memory's operation schedule.
+package netlint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// Phase describes one operating phase of the circuit: the logic level of
+// every control net that matters during the phase. Control nets absent
+// from Levels have unknown level, so the channels they gate are treated
+// as non-conducting — the conservative choice for proving drive paths.
+type Phase struct {
+	// Name identifies the phase (e.g. "precharge", "sense0").
+	Name string
+	// Levels maps control net names to their logic level in this phase.
+	Levels map[string]bool
+}
+
+// Latch describes a cross-coupled regenerating structure (a sense
+// amplifier): its channel elements conduct as a group, but only when the
+// latch can actually regenerate — when each Requires pair of nets is
+// connected through the phase's conducting graph (both supply rails of
+// the latch must be reachable). This captures the electrical fact that
+// an enabled cross-coupled pair drives both of its outputs, while a
+// latch with a broken enable path (the paper's Open 7) drives nothing.
+type Latch struct {
+	// Elements names the cross-coupled channel elements.
+	Elements []string
+	// Requires lists net pairs that must be mutually connected for the
+	// latch to regenerate, e.g. {{"san", "0"}, {"sap", "vddn"}}.
+	Requires [][2]string
+	// ActiveIn names the phases whose schedule enables the latch; in
+	// other phases it never conducts regardless of connectivity (a sense
+	// amplifier is off during precharge even though its rails are then
+	// reachable through the precharge devices). Empty means every phase.
+	ActiveIn []string
+}
+
+// Model is the phase-aware description of a circuit's operation used by
+// the floating-line prediction.
+type Model struct {
+	// Phases are the operating phases of the circuit.
+	Phases []Phase
+	// Latches are the regenerating structures active in any phase whose
+	// conducting graph satisfies their requirements.
+	Latches []Latch
+	// Roles maps a net name to the phases responsible for establishing
+	// its state (the net's "home" phases: precharge for bit lines, write
+	// and sense for storage cells). A net floats under a defect exactly
+	// when every responsible phase loses its drive path to the net.
+	Roles map[string][]string
+	// CutoffOhms is the resistance above which a conductive branch is
+	// treated as disconnected. Zero means no branch is ever cut off.
+	CutoffOhms float64
+}
+
+// Analyzer performs static analyses over one circuit.
+type Analyzer struct {
+	ckt   *circuit.Circuit
+	model Model
+
+	nodes  int // node count including ground
+	edges  []edge
+	opaque []string // elements without topology information
+}
+
+// edge is one element branch in analyzer form.
+type edge struct {
+	elem       string
+	kind       circuit.PathKind
+	a, b       int
+	gate       int
+	activeHigh bool
+	ohms       float64
+}
+
+// New builds an analyzer for a circuit. The model may be the zero Model
+// when only structural checks (Floating, Solvability) are wanted.
+func New(ckt *circuit.Circuit, model Model) *Analyzer {
+	a := &Analyzer{ckt: ckt, model: model, nodes: ckt.NumNodes() + 1}
+	for _, e := range ckt.Elements() {
+		te, ok := e.(circuit.Topological)
+		if !ok {
+			a.opaque = append(a.opaque, e.Name())
+			continue
+		}
+		for _, br := range te.Branches() {
+			a.edges = append(a.edges, edge{
+				elem: e.Name(), kind: br.Kind, a: br.A, b: br.B,
+				gate: br.Gate, activeHigh: br.GateActiveHigh, ohms: br.Ohms,
+			})
+		}
+	}
+	return a
+}
+
+// cutOff reports whether a conductive branch counts as disconnected.
+func (a *Analyzer) cutOff(e edge) bool {
+	return a.model.CutoffOhms > 0 && e.kind == circuit.PathConductive && e.ohms >= a.model.CutoffOhms
+}
+
+// reach runs a BFS over the edges admitted by keep, starting from the
+// given seed nodes, and returns the reached-node mask.
+func (a *Analyzer) reach(seeds []int, keep func(edge) bool) []bool {
+	adj := make([][]int, a.nodes)
+	for _, e := range a.edges {
+		if e.kind == circuit.PathSense || !keep(e) {
+			continue
+		}
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	seen := make([]bool, a.nodes)
+	var queue []int
+	for _, s := range seeds {
+		if s >= 0 && s < a.nodes && !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return seen
+}
+
+// Floating proves which nets have no DC path to ground through
+// non-capacitive elements, with every gated channel optimistically
+// conducting: a net unreached even then can never be driven and is a
+// netlist construction bug.
+func (a *Analyzer) Floating() lint.Findings {
+	var out lint.Findings
+	for _, name := range a.opaque {
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "opaque-element", Severity: lint.Error,
+			Subject: name,
+			Message: "element does not describe its topology (circuit.Topological); floating-net analysis cannot be proven",
+		})
+	}
+	seen := a.reach([]int{0}, func(e edge) bool {
+		switch e.kind {
+		case circuit.PathConductive:
+			return !a.cutOff(e)
+		case circuit.PathSource, circuit.PathGated:
+			return true
+		}
+		return false
+	})
+	for n := 1; n < a.nodes; n++ {
+		if !seen[n] {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "floating-net", Severity: lint.Error,
+				Subject: a.ckt.NodeName(n),
+				Message: "no DC path to ground through non-capacitive elements in any switching state",
+			})
+		}
+	}
+	return out
+}
+
+// Solvability proves MNA assembly properties before any simulation:
+// voltage-source loops (a singular system no gmin can fix), duplicate
+// element designators, nets touched by no element at all, and — as
+// informational findings — net groups whose DC state exists only through
+// the solver's gmin when every channel is off (the floating-line physics
+// the paper studies; expected for bit lines, worth knowing about).
+func (a *Analyzer) Solvability() lint.Findings {
+	var out lint.Findings
+
+	// Duplicate designators (also rejected at Circuit.Add; re-proven here
+	// for circuits assembled by other means).
+	seenName := map[string]bool{}
+	for _, e := range a.ckt.Elements() {
+		if seenName[e.Name()] {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "duplicate-element", Severity: lint.Error,
+				Subject: e.Name(), Message: "duplicate element designator",
+			})
+		}
+		seenName[e.Name()] = true
+	}
+
+	// Voltage-source loops via union-find over source branches only.
+	parent := make([]int, a.nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range a.edges {
+		if e.kind != circuit.PathSource {
+			continue
+		}
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "vsource-loop", Severity: lint.Error,
+				Subject: e.elem,
+				Message: fmt.Sprintf("voltage source closes a source-only loop between %q and %q: the MNA system is singular", a.ckt.NodeName(e.a), a.ckt.NodeName(e.b)),
+			})
+			continue
+		}
+		parent[ra] = rb
+	}
+
+	// Nets touched by no element at all.
+	touched := make([]bool, a.nodes)
+	touched[0] = true
+	for _, e := range a.edges {
+		touched[e.a], touched[e.b] = true, true
+		if e.kind == circuit.PathGated {
+			touched[e.gate] = true
+		}
+	}
+	for n := 1; n < a.nodes; n++ {
+		if !touched[n] {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "dangling-net", Severity: lint.Error,
+				Subject: a.ckt.NodeName(n), Message: "net is connected to no element",
+			})
+		}
+	}
+
+	// Current sources must see a DC return path in every switching state;
+	// otherwise only gmin balances their KCL row.
+	allOff := a.reach([]int{0}, func(e edge) bool {
+		return (e.kind == circuit.PathConductive && !a.cutOff(e)) || e.kind == circuit.PathSource
+	})
+	for _, e := range a.edges {
+		if e.kind != circuit.PathCurrent {
+			continue
+		}
+		for _, n := range []int{e.a, e.b} {
+			if n != 0 && !allOff[n] {
+				out = append(out, lint.Finding{
+					Layer: "netlist", Rule: "isource-float", Severity: lint.Warning,
+					Subject: e.elem,
+					Message: fmt.Sprintf("current source terminal %q has no unconditional DC return path; its KCL balances only through gmin", a.ckt.NodeName(n)),
+				})
+			}
+		}
+	}
+
+	// gmin-dependent groups: nets with no unconditional DC path to
+	// ground. Expected for storage nodes and isolatable bit lines —
+	// informational.
+	var gminNets []string
+	for n := 1; n < a.nodes; n++ {
+		if touched[n] && !allOff[n] {
+			gminNets = append(gminNets, a.ckt.NodeName(n))
+		}
+	}
+	if len(gminNets) > 0 {
+		sort.Strings(gminNets)
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "gmin-dependent", Severity: lint.Info,
+			Subject: fmt.Sprintf("%d nets", len(gminNets)),
+			Message: fmt.Sprintf("DC state defined only by gmin when all channels are off (floating-line candidates): %v", gminNets),
+		})
+	}
+	return out
+}
+
+// Check runs every structural analysis plus, when a model with phases is
+// configured, the model-consistency verification.
+func (a *Analyzer) Check() lint.Findings {
+	out := append(a.Floating(), a.Solvability()...)
+	if len(a.model.Phases) > 0 {
+		out = append(out, a.VerifyModel()...)
+	}
+	out.Sort()
+	return out
+}

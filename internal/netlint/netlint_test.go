@@ -1,0 +1,174 @@
+package netlint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+func analyze(t *testing.T, build func(ckt *circuit.Circuit)) lint.Findings {
+	t.Helper()
+	ckt := circuit.New()
+	build(ckt)
+	ckt.Freeze()
+	return New(ckt, Model{CutoffOhms: 1e9}).Check()
+}
+
+func rules(fs lint.Findings) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func wantRule(t *testing.T, fs lint.Findings, rule string, sev lint.Severity) lint.Finding {
+	t.Helper()
+	hits := fs.ByRule(rule)
+	if len(hits) == 0 {
+		t.Fatalf("no %s finding; got %v", rule, rules(fs))
+	}
+	if hits[0].Severity != sev {
+		t.Fatalf("%s severity = %s, want %s", rule, hits[0].Severity, sev)
+	}
+	return hits[0]
+}
+
+// A net reachable only through a capacitor has no DC path in any
+// switching state: a construction bug the prover must catch.
+func TestFloatingNet(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		vdd := ckt.Node("vdd")
+		lost := ckt.Node("lost")
+		ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(1.8)))
+		ckt.MustAdd(device.NewCapacitor("C1", lost, 0, 1e-15))
+	})
+	f := wantRule(t, fs, "floating-net", lint.Error)
+	if f.Subject != "lost" {
+		t.Errorf("subject = %q, want lost", f.Subject)
+	}
+}
+
+// A gated channel counts as a potential drive path: a storage node
+// behind an access transistor is not floating (merely gmin-dependent).
+func TestGatedPathIsNotFloating(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		bl := ckt.Node("bl")
+		cell := ckt.Node("cell")
+		wl := ckt.Node("wl")
+		ckt.MustAdd(device.NewVSource("Vbl", bl, 0, device.DC(0.9)))
+		ckt.MustAdd(device.NewVSource("Vwl", wl, 0, device.DC(1.8)))
+		ckt.MustAdd(device.NewSwitch("S1", bl, cell, wl, 0, 0.9, 1e3, 1e12))
+	})
+	if hits := fs.ByRule("floating-net"); len(hits) != 0 {
+		t.Fatalf("gated storage node flagged floating: %v", hits)
+	}
+	// ...but it must show up as gmin-dependent, which is informational.
+	f := wantRule(t, fs, "gmin-dependent", lint.Info)
+	if !strings.Contains(f.Message, "cell") {
+		t.Errorf("gmin finding should list the storage node: %s", f.Message)
+	}
+}
+
+// A resistor at or above the cutoff is statically an open: the net
+// behind it floats.
+func TestCutoffTurnsResistorIntoOpen(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		a := ckt.Node("a")
+		b := ckt.Node("b")
+		ckt.MustAdd(device.NewVSource("V1", a, 0, device.DC(1)))
+		ckt.MustAdd(device.NewResistor("Ropen", a, b, 1e12))
+	})
+	f := wantRule(t, fs, "floating-net", lint.Error)
+	if f.Subject != "b" {
+		t.Errorf("subject = %q, want b", f.Subject)
+	}
+}
+
+// Two voltage sources between the same pair of nets close a
+// source-only loop: the MNA system is singular.
+func TestVSourceLoop(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		n := ckt.Node("n")
+		ckt.MustAdd(device.NewVSource("V1", n, 0, device.DC(1.8)))
+		ckt.MustAdd(device.NewVSource("V2", n, 0, device.DC(1.8)))
+	})
+	f := wantRule(t, fs, "vsource-loop", lint.Error)
+	if f.Subject != "V2" {
+		t.Errorf("subject = %q, want the loop-closing V2", f.Subject)
+	}
+}
+
+// A chain of sources through intermediate nets is also a loop.
+func TestVSourceLoopThroughChain(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		a := ckt.Node("a")
+		b := ckt.Node("b")
+		ckt.MustAdd(device.NewVSource("V1", a, 0, device.DC(1)))
+		ckt.MustAdd(device.NewVSource("V2", b, a, device.DC(1)))
+		ckt.MustAdd(device.NewVSource("V3", b, 0, device.DC(2)))
+	})
+	wantRule(t, fs, "vsource-loop", lint.Error)
+}
+
+// A net declared but touched by no element is dangling.
+func TestDanglingNet(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		vdd := ckt.Node("vdd")
+		ckt.Node("orphan")
+		ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(1.8)))
+	})
+	f := wantRule(t, fs, "dangling-net", lint.Error)
+	if f.Subject != "orphan" {
+		t.Errorf("subject = %q, want orphan", f.Subject)
+	}
+}
+
+// A current source pushing into a net with no unconditional DC return
+// path relies on gmin to balance its KCL row.
+func TestISourceFloat(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		n := ckt.Node("n")
+		g := ckt.Node("g")
+		ckt.MustAdd(device.NewVSource("Vg", g, 0, device.DC(0)))
+		ckt.MustAdd(device.NewISource("I1", n, 0, device.DC(1e-6)))
+		ckt.MustAdd(device.NewSwitch("S1", n, 0, g, 0, 0.9, 1e3, 1e12))
+	})
+	wantRule(t, fs, "isource-float", lint.Warning)
+}
+
+// An element without topology information makes the floating-net proof
+// impossible; the analyzer must say so rather than silently pass it.
+type opaqueElem struct{ name string }
+
+func (o opaqueElem) Name() string                    { return o.name }
+func (o opaqueElem) Stamp(ctx *circuit.StampContext) {}
+
+func TestOpaqueElement(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		vdd := ckt.Node("vdd")
+		ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(1.8)))
+		ckt.MustAdd(opaqueElem{name: "X1"})
+	})
+	f := wantRule(t, fs, "opaque-element", lint.Error)
+	if f.Subject != "X1" {
+		t.Errorf("subject = %q, want X1", f.Subject)
+	}
+}
+
+// A well-formed divider plus source produces no findings at all.
+func TestCleanCircuit(t *testing.T) {
+	fs := analyze(t, func(ckt *circuit.Circuit) {
+		vdd := ckt.Node("vdd")
+		mid := ckt.Node("mid")
+		ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(1.8)))
+		ckt.MustAdd(device.NewResistor("R1", vdd, mid, 1e3))
+		ckt.MustAdd(device.NewResistor("R2", mid, 0, 1e3))
+	})
+	if len(fs) != 0 {
+		t.Fatalf("clean circuit produced findings: %v", fs)
+	}
+}

@@ -1,0 +1,269 @@
+package netlint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// This file implements the phase-aware floating-line prediction: given a
+// set of cut elements (the resistive opens of the paper's Figure 2), it
+// computes which nets lose every drive path in all of their responsible
+// phases — the static counterpart of the paper's Section 2 floating-line
+// analysis, checkable against the Table 1 inventory without simulating.
+
+// Prediction is the floating-line set predicted for one defect.
+type Prediction struct {
+	// Primary nets lose all drive paths even with every control (gate)
+	// net at its healthy level: the open breaks the drive path itself.
+	Primary []string
+	// Secondary nets lose drive only because a control net floats first
+	// (e.g. the paper's Open 9: the word line floats, so the access
+	// transistor never opens and the cell is cut off indirectly).
+	Secondary []string
+}
+
+// levelsFor resolves the phase's control-net levels onto node indices and
+// propagates them through firm (below-cutoff, uncut) resistive paths, so
+// a level asserted on a driver net reaches the gate it controls. Unknown
+// stays unknown; gated channels with unknown gates do not conduct.
+func (a *Analyzer) levelsFor(p Phase, cut map[string]bool) map[int]bool {
+	known := map[int]bool{}
+	var seeds []int
+	for net, high := range p.Levels {
+		idx, ok := a.ckt.NodeIndex(net)
+		if !ok {
+			continue // reported by VerifyModel
+		}
+		known[idx] = high
+		seeds = append(seeds, idx)
+	}
+	adj := make(map[int][]int)
+	for _, e := range a.edges {
+		if e.kind == circuit.PathConductive && !a.cutOff(e) && !cut[e.elem] {
+			adj[e.a] = append(adj[e.a], e.b)
+			adj[e.b] = append(adj[e.b], e.a)
+		}
+	}
+	for len(seeds) > 0 {
+		n := seeds[0]
+		seeds = seeds[1:]
+		for _, m := range adj[n] {
+			if _, ok := known[m]; !ok {
+				known[m] = known[n]
+				seeds = append(seeds, m)
+			}
+		}
+	}
+	return known
+}
+
+// driven computes the set of nodes with a DC drive path to ground during
+// phase p, with the given elements cut. Gate levels are resolved on the
+// graph selected by gateCut (pass nil to resolve with healthy wiring,
+// i.e. ask "what would conduct if control reached every gate"; pass cut
+// to model gates starved by the defect itself). Latches join the
+// conducting graph iff their rail requirements hold, iterated to a
+// fixpoint because one latch turning on can connect another's rails.
+func (a *Analyzer) driven(p Phase, cut, gateCut map[string]bool) []bool {
+	levels := a.levelsFor(p, gateCut)
+	latchOn := map[string]bool{}
+	conducts := func(e edge) bool {
+		if cut[e.elem] {
+			return false
+		}
+		switch e.kind {
+		case circuit.PathConductive:
+			return !a.cutOff(e)
+		case circuit.PathSource:
+			return true
+		case circuit.PathGated:
+			if latchOn[e.elem] {
+				return true
+			}
+			lvl, ok := levels[e.gate]
+			return ok && lvl == e.activeHigh
+		}
+		return false
+	}
+	for {
+		seen := a.reach([]int{0}, conducts)
+		changed := false
+		for _, l := range a.model.Latches {
+			if !l.activeIn(p.Name) || a.latchEnabled(l, latchOn) {
+				continue
+			}
+			ok := true
+			for _, pair := range l.Requires {
+				x, okx := a.ckt.NodeIndex(pair[0])
+				y, oky := a.ckt.NodeIndex(pair[1])
+				if !okx || !oky || !a.connected(x, y, conducts) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, name := range l.Elements {
+					latchOn[name] = true
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return seen
+		}
+	}
+}
+
+// activeIn reports whether the latch may regenerate in the named phase.
+func (l Latch) activeIn(phase string) bool {
+	if len(l.ActiveIn) == 0 {
+		return true
+	}
+	for _, name := range l.ActiveIn {
+		if name == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// latchEnabled reports whether every channel of the latch is already on.
+func (a *Analyzer) latchEnabled(l Latch, on map[string]bool) bool {
+	for _, name := range l.Elements {
+		if !on[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// connected reports whether nodes x and y are in one component of the
+// graph admitted by keep.
+func (a *Analyzer) connected(x, y int, keep func(edge) bool) bool {
+	if x == y {
+		return true
+	}
+	return a.reach([]int{x}, keep)[y]
+}
+
+// PredictFloats predicts which role-bearing nets float when the named
+// elements are cut (opened). A net floats primarily when, in every phase
+// responsible for it, the cut removes all drive paths even with healthy
+// control levels; it floats secondarily when drive survives under healthy
+// control but is lost once control levels themselves propagate through
+// the cut wiring (control starved by the defect).
+func (a *Analyzer) PredictFloats(cutElems []string) Prediction {
+	cut := map[string]bool{}
+	for _, name := range cutElems {
+		cut[name] = true
+	}
+	phases := map[string]Phase{}
+	for _, p := range a.model.Phases {
+		phases[p.Name] = p
+	}
+
+	drivenIn := map[string][]bool{} // phase → healthy-gate driven set under cut
+	drivenActual := map[string][]bool{}
+	for name, p := range phases {
+		drivenIn[name] = a.driven(p, cut, nil)
+		drivenActual[name] = a.driven(p, cut, cut)
+	}
+
+	var pred Prediction
+	for net, roles := range a.model.Roles {
+		idx, ok := a.ckt.NodeIndex(net)
+		if !ok {
+			continue // reported by VerifyModel
+		}
+		lostPrimary, lostActual := true, true
+		for _, phase := range roles {
+			if d, ok := drivenIn[phase]; ok && d[idx] {
+				lostPrimary = false
+			}
+			if d, ok := drivenActual[phase]; ok && d[idx] {
+				lostActual = false
+			}
+		}
+		switch {
+		case lostPrimary:
+			pred.Primary = append(pred.Primary, net)
+		case lostActual:
+			pred.Secondary = append(pred.Secondary, net)
+		}
+	}
+	sort.Strings(pred.Primary)
+	sort.Strings(pred.Secondary)
+	return pred
+}
+
+// VerifyModel cross-checks the phase model against the netlist: every
+// net and control net the model names must exist, every latch element
+// must be a gated element of the circuit, every role must reference a
+// declared phase, and — the substantive check — every role-bearing net
+// must actually be driven in each of its responsible phases on the
+// healthy circuit. A violation means the model has drifted from the
+// netlist and any prediction from it would be fiction.
+func (a *Analyzer) VerifyModel() lint.Findings {
+	var out lint.Findings
+	add := func(rule, subject, msg string) {
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: rule, Severity: lint.Error,
+			Subject: subject, Message: msg,
+		})
+	}
+	phaseNames := map[string]bool{}
+	for _, p := range a.model.Phases {
+		phaseNames[p.Name] = true
+		for net := range p.Levels {
+			if _, ok := a.ckt.NodeIndex(net); !ok {
+				add("model-unknown-net", net, fmt.Sprintf("phase %q asserts a level on a net the circuit does not have", p.Name))
+			}
+		}
+	}
+	gated := map[string]bool{}
+	for _, e := range a.edges {
+		if e.kind == circuit.PathGated {
+			gated[e.elem] = true
+		}
+	}
+	for _, l := range a.model.Latches {
+		for _, name := range l.Elements {
+			if !gated[name] {
+				add("model-unknown-element", name, "latch element is not a gated element of the circuit")
+			}
+		}
+		for _, pair := range l.Requires {
+			for _, net := range pair[:] {
+				if _, ok := a.ckt.NodeIndex(net); !ok {
+					add("model-unknown-net", net, "latch requirement references a net the circuit does not have")
+				}
+			}
+		}
+	}
+
+	healthy := map[string][]bool{}
+	for _, p := range a.model.Phases {
+		healthy[p.Name] = a.driven(p, nil, nil)
+	}
+	for net, roles := range a.model.Roles {
+		idx, ok := a.ckt.NodeIndex(net)
+		if !ok {
+			add("model-unknown-net", net, "role references a net the circuit does not have")
+			continue
+		}
+		for _, phase := range roles {
+			if !phaseNames[phase] {
+				add("model-unknown-phase", net, fmt.Sprintf("role references undeclared phase %q", phase))
+				continue
+			}
+			if !healthy[phase][idx] {
+				add("model-undriven-role", net, fmt.Sprintf("net is not driven during its responsible phase %q on the healthy circuit; the role (or the phase's levels) is wrong", phase))
+			}
+		}
+	}
+	out.Sort()
+	return out
+}

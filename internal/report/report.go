@@ -11,6 +11,7 @@ import (
 
 	"github.com/memtest/partialfaults/internal/analysis"
 	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/march"
 )
 
@@ -158,4 +159,34 @@ func WriteCoverage(w io.Writer, results []march.CoverageResult, tests []string) 
 		}
 	}
 	return nil
+}
+
+// WriteFindings renders static-analysis findings grouped by layer, one
+// finding per line, followed by the summary count. minSev filters what
+// is printed (pass lint.Info for everything); the summary always counts
+// the full set so filtered output still reveals that info findings
+// exist.
+func WriteFindings(w io.Writer, fs lint.Findings, minSev lint.Severity) error {
+	shown := fs.AtLeast(minSev)
+	lastLayer := ""
+	for _, f := range shown {
+		if f.Layer != lastLayer {
+			if _, err := fmt.Fprintf(w, "[%s]\n", f.Layer); err != nil {
+				return err
+			}
+			lastLayer = f.Layer
+		}
+		if _, err := fmt.Fprintf(w, "  %s\n", f); err != nil {
+			return err
+		}
+	}
+	if len(shown) < len(fs) {
+		if _, err := fmt.Fprintf(w, "%s (%d below the reporting threshold)\n",
+			fs.Summary(), len(fs)-len(shown)); err != nil {
+			return err
+		}
+		return nil
+	}
+	_, err := fmt.Fprintln(w, fs.Summary())
+	return err
 }

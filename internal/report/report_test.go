@@ -8,6 +8,7 @@ import (
 	"github.com/memtest/partialfaults/internal/analysis"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/march"
 )
 
@@ -108,5 +109,38 @@ func TestWriteCoverage(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("coverage missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestWriteFindings(t *testing.T) {
+	fs := lint.Findings{
+		{Layer: "netlist", Rule: "floating-net", Severity: lint.Error, Subject: "btX", Message: "no DC path"},
+		{Layer: "march", Rule: "leading-read", Severity: lint.Warning, Subject: "Bad", Message: "reads first"},
+		{Layer: "march", Rule: "cannot-complete", Severity: lint.Info, Subject: "MATS+", Message: "pre-pass"},
+	}
+	fs.Sort()
+
+	var full strings.Builder
+	if err := WriteFindings(&full, fs, lint.Info); err != nil {
+		t.Fatal(err)
+	}
+	out := full.String()
+	for _, want := range []string{"[netlist]", "[march]", "floating-net", "leading-read", "cannot-complete",
+		"1 error, 1 warning, 1 info finding"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full output missing %q:\n%s", want, out)
+		}
+	}
+
+	var filtered strings.Builder
+	if err := WriteFindings(&filtered, fs, lint.Warning); err != nil {
+		t.Fatal(err)
+	}
+	out = filtered.String()
+	if strings.Contains(out, "cannot-complete") {
+		t.Errorf("info finding printed above threshold:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 below the reporting threshold)") {
+		t.Errorf("filtered summary should count hidden findings:\n%s", out)
 	}
 }

@@ -88,8 +88,9 @@ const (
 	SiteBridgeCells  = dram.SiteBridgeCells
 )
 
-// NewColumn builds an electrical DRAM column.
-func NewColumn(t Technology) *Column { return dram.NewColumn(t) }
+// NewColumn builds an electrical DRAM column. A non-nil error means the
+// netlist construction itself is malformed.
+func NewColumn(t Technology) (*Column, error) { return dram.NewColumn(t) }
 
 // NewBehavModel builds the analytical column model.
 func NewBehavModel() *BehavModel { return behav.New(behav.DefaultParams()) }
