@@ -24,6 +24,7 @@ import (
 	"github.com/memtest/partialfaults/internal/dram"
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/netlint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
 )
@@ -42,6 +43,7 @@ func main() {
 		uSteps    = flag.Int("u-steps", 12, "linear voltage steps")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
+		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
 	)
 	flag.Parse()
 
@@ -52,6 +54,10 @@ func main() {
 	open, ok := defect.ByID(*openID)
 	if !ok {
 		fatalf("unknown open %d; the paper defines opens 1-9", *openID)
+	}
+	if *predict {
+		predictFloats(open)
+		return
 	}
 	sos, err := parseSOSOrFP(*sosStr)
 	if err != nil {
@@ -107,6 +113,30 @@ func parseSOSOrFP(s string) (fp.SOS, error) {
 		return p.S, nil
 	}
 	return fp.ParseSOS(s)
+}
+
+// predictFloats prints the floating-line set the netlist graph predicts
+// for the open — the static counterpart of the sweep's declared float
+// groups. Primary nets lose their only DC drive path when the open's
+// site element is cut; secondary nets are starved transitively because a
+// floating control net stops reaching their access gates.
+func predictFloats(open defect.Open) {
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		fatalf("predict: %v", err)
+	}
+	az := netlint.New(col.Circuit(), dram.LintModel())
+	pred := az.PredictFloats([]string{dram.SiteElementName(open.Site)})
+	fmt.Printf("open %d cuts element %s\n", open.ID, dram.SiteElementName(open.Site))
+	fmt.Printf("primary floats:   %s\n", joinOrNone(pred.Primary))
+	fmt.Printf("secondary floats: %s\n", joinOrNone(pred.Secondary))
+}
+
+func joinOrNone(nets []string) string {
+	if len(nets) == 0 {
+		return "(none)"
+	}
+	return strings.Join(nets, ", ")
 }
 
 // preflight runs the static netlist, inventory and march checks and

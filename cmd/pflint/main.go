@@ -102,8 +102,9 @@ func lintRepo(root string) (lint.Findings, error) {
 }
 
 // seededBadFindings lints intentionally broken inputs — a netlist with
-// a floating net and a voltage-source loop, and a march test that can
-// never pass on a healthy memory — proving the analyzers can fail.
+// a floating net and a voltage-source loop, a march test that can never
+// pass on a healthy memory, and a technology with unphysical parameters
+// — proving the analyzers can fail.
 func seededBadFindings() lint.Findings {
 	ckt := circuit.New()
 	vdd := ckt.Node("vdd")
@@ -119,6 +120,12 @@ func seededBadFindings() lint.Findings {
 		{Order: march.Up, Ops: []march.Op{march.R(1), march.W(0)}}, // reads 1, stores 0
 	}}
 	out = append(out, march.Lint(bad)...)
+
+	badTech := dram.Default()
+	badTech.CCell = -30e-15       // negative capacitance
+	badTech.VPP = badTech.VDD - 1 // no word-line boost
+	badTech.TPre = 1e-13          // precharge shorter than the bit-line RC
+	out = append(out, dram.LintTechnology(badTech)...)
 	out.Sort()
 	return out
 }

@@ -28,6 +28,19 @@ type CompletionConfig struct {
 	Us []float64
 	// MaxOps bounds the completing-prefix length (default 3).
 	MaxOps int
+
+	// Memo, when non-nil, reuses outcomes already simulated (e.g. by the
+	// sweep that found the partial fault). Must be Factory-consistent.
+	Memo *Memo
+	// Replay, when non-nil, shares simulation prefixes between the
+	// candidate sequences — the search's candidates differ only in their
+	// tails, so nearly all re-simulation collapses into tree walks. Must
+	// have been built for this search's Factory, Open and Float.Nets.
+	Replay *ReplayCache
+	// Pool, when non-nil, gates each probe simulation on the shared
+	// pipeline pool so completion searches running alongside sweeps keep
+	// total concurrency bounded.
+	Pool *Pool
 }
 
 // Completion is the search result.
@@ -102,7 +115,16 @@ func completedEverywhere(cfg CompletionConfig, cand fp.SOS, base fp.FP) (bool, e
 	for _, rdef := range cfg.RDefs {
 		allUs := true
 		for _, u := range cfg.Us {
-			out, err := RunSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cand)
+			var out Outcome
+			var err error
+			run := func() {
+				out, err = evalSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cand, cfg.Memo, cfg.Replay)
+			}
+			if cfg.Pool != nil {
+				cfg.Pool.Do(run)
+			} else {
+				run()
+			}
 			if err != nil {
 				return false, err
 			}

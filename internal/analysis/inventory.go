@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
@@ -78,6 +79,15 @@ func StaticSOSes() []fp.SOS {
 // floating-voltage group, sweep each base SOS over the (R_def, U) grid,
 // apply the partial-fault rule, and search completing operations for
 // every partial FFM found.
+//
+// The (open, group) units are independent and run concurrently, all
+// sharing one bounded worker pool so total simulation concurrency stays
+// at cfg.Parallelism regardless of unit count. Within a unit the SOSes
+// run in order (the first-FFM-wins dedup depends on it), backed by a
+// unit-scoped replay cache — which also serves the unit's completion
+// searches and is released when the unit finishes — and a pipeline-wide
+// outcome memo. Rows are assembled in deterministic unit order, so the
+// result is identical to the sequential pipeline's.
 func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 	opens := cfg.Opens
 	if opens == nil {
@@ -95,35 +105,64 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
+	var progressMu sync.Mutex
+	report := func(s string) {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		progress(s)
+	}
 
-	var rows []Row
+	type unit struct {
+		open  defect.Open
+		group defect.FloatGroup
+	}
+	var units []unit
 	for _, open := range opens {
 		for _, group := range open.Floats {
+			units = append(units, unit{open, group})
+		}
+	}
+
+	pool := NewPool(cfg.Parallelism)
+	memo := NewMemo()
+	unitRows := make([][]Row, len(units))
+	unitErrs := make([]error, len(units))
+	var wg sync.WaitGroup
+	for ui, un := range units {
+		wg.Add(1)
+		go func(ui int, open defect.Open, group defect.FloatGroup) {
+			defer wg.Done()
+			replay := NewReplayCache(cfg.Factory, open, group.Nets)
+			defer replay.Close()
 			seen := map[fp.FFM]bool{}
 			for _, sos := range soses {
 				plane, err := SweepPlane(SweepConfig{
 					Factory: cfg.Factory, Open: open, Float: group, SOS: sos,
-					RDefs: cfg.RDefs, Us: cfg.Us, Parallelism: cfg.Parallelism,
+					RDefs: cfg.RDefs, Us: cfg.Us,
+					Memo: memo, Replay: replay, Pool: pool,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("analysis: %s %s sweep %q: %w", open.Name(), group.Var, sos, err)
+					unitErrs[ui] = fmt.Errorf("analysis: %s %s sweep %q: %w", open.Name(), group.Var, sos, err)
+					return
 				}
 				for _, finding := range IdentifyPartialFaults(plane) {
 					if seen[finding.FFM] {
 						continue
 					}
 					seen[finding.FFM] = true
-					progress(fmt.Sprintf("%s / %s: partial %s via %q", open.Name(), group.Var, finding.FFM, sos))
+					report(fmt.Sprintf("%s / %s: partial %s via %q", open.Name(), group.Var, finding.FFM, sos))
 					probes := probeRDefs(finding.RDefWithPartial, maxProbe)
 					comp, err := SearchCompletion(CompletionConfig{
 						Factory: cfg.Factory, Open: open, Float: group,
 						Base:  finding.Example.Base(),
 						RDefs: probes, Us: cfg.Us, MaxOps: cfg.MaxCompletingOps,
+						Memo: memo, Replay: replay, Pool: pool,
 					})
 					if err != nil {
-						return nil, fmt.Errorf("analysis: completing %s for %s: %w", finding.FFM, open.Name(), err)
+						unitErrs[ui] = fmt.Errorf("analysis: completing %s for %s: %w", finding.FFM, open.Name(), err)
+						return
 					}
-					rows = append(rows, Row{
+					unitRows[ui] = append(unitRows[ui], Row{
 						SimFFM:    finding.FFM,
 						ComFFM:    finding.FFM.Complement(),
 						Open:      open,
@@ -134,28 +173,45 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 					})
 				}
 			}
+		}(ui, un.open, un.group)
+	}
+	wg.Wait()
+	for _, err := range unitErrs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	var rows []Row
+	for _, ur := range unitRows {
+		rows = append(rows, ur...)
 	}
 	sortRows(rows)
 	return rows, nil
 }
 
-// probeRDefs picks up to n representative resistances (smallest, median
-// and largest partial rows) for the completion search; the search only
-// needs one of them to admit a full-U completion.
+// probeRDefs picks up to n representative resistances (smallest,
+// largest, median, first-third, then ascending fill) for the completion
+// search; the search only needs one of them to admit a full-U
+// completion. Indices are deduplicated so no resistance is ever probed
+// twice.
 func probeRDefs(rdefs []float64, n int) []float64 {
 	if len(rdefs) <= n {
 		return rdefs
 	}
-	out := []float64{rdefs[0]}
-	if n > 1 {
-		out = append(out, rdefs[len(rdefs)-1])
+	taken := make(map[int]bool, n)
+	out := make([]float64, 0, n)
+	take := func(i int) {
+		if len(out) < n && !taken[i] {
+			taken[i] = true
+			out = append(out, rdefs[i])
+		}
 	}
-	if n > 2 {
-		out = append(out, rdefs[len(rdefs)/2])
-	}
-	for len(out) < n {
-		out = append(out, rdefs[len(rdefs)/3])
+	take(0)
+	take(len(rdefs) - 1)
+	take(len(rdefs) / 2)
+	take(len(rdefs) / 3)
+	for i := 0; len(out) < n && i < len(rdefs); i++ {
+		take(i)
 	}
 	return out
 }

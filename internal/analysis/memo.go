@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// OutcomeKey identifies one RunSOS invocation up to simulation-relevant
+// inputs. Two runs with equal keys through the same (deterministic)
+// Factory produce identical Outcomes, so the key is safe to memoize on.
+// The SOS is canonicalized to its simulated content — Init plus the
+// (kind, target, data) of every operation — deliberately ignoring the
+// Completing presentation flag, which RunSOS never reads.
+type OutcomeKey struct {
+	OpenID int
+	Site   string
+	RDef   float64
+	Nets   string
+	U      float64
+	SOS    string
+}
+
+// NewOutcomeKey builds the memo key for one SOS application.
+func NewOutcomeKey(open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS) OutcomeKey {
+	return OutcomeKey{
+		OpenID: open.ID,
+		Site:   open.Site,
+		RDef:   rdef,
+		Nets:   strings.Join(nets, ","),
+		U:      u,
+		SOS:    canonicalSOS(sos),
+	}
+}
+
+// canonicalSOS encodes exactly the fields RunSOS acts on.
+func canonicalSOS(sos fp.SOS) string {
+	var b strings.Builder
+	b.Grow(1 + 3*len(sos.Ops))
+	switch sos.Init {
+	case fp.Init0:
+		b.WriteByte('0')
+	case fp.Init1:
+		b.WriteByte('1')
+	default:
+		b.WriteByte('-')
+	}
+	for _, op := range sos.Ops {
+		if op.Kind == fp.OpRead {
+			b.WriteByte('r')
+		} else {
+			b.WriteByte('w')
+		}
+		if op.Target == fp.TargetBitLine {
+			b.WriteByte('B')
+		} else {
+			b.WriteByte('v')
+		}
+		b.WriteByte('0' + byte(op.Data))
+	}
+	return b.String()
+}
+
+// Memo is a concurrency-safe outcome cache shared between the sweep,
+// completion-search and inventory phases. It must only be shared between
+// calls that use the same Factory: the key does not (and cannot) identify
+// the factory closure, and outcomes of the electrical and analytical
+// models differ.
+type Memo struct {
+	mu           sync.Mutex
+	m            map[OutcomeKey]Outcome
+	hits, misses uint64
+}
+
+// NewMemo returns an empty outcome cache.
+func NewMemo() *Memo {
+	return &Memo{m: map[OutcomeKey]Outcome{}}
+}
+
+// Lookup returns the cached outcome for the key, if present.
+func (mm *Memo) Lookup(k OutcomeKey) (Outcome, bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	out, ok := mm.m[k]
+	if ok {
+		mm.hits++
+	} else {
+		mm.misses++
+	}
+	return out, ok
+}
+
+// Store records an outcome. Later stores of the same key are idempotent
+// by construction (deterministic simulation), so no precedence rule is
+// needed.
+func (mm *Memo) Store(k OutcomeKey, out Outcome) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.m[k] = out
+}
+
+// Stats reports lookup hits and misses.
+func (mm *Memo) Stats() (hits, misses uint64) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.hits, mm.misses
+}
+
+// Len returns the number of cached outcomes.
+func (mm *Memo) Len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.m)
+}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"github.com/memtest/partialfaults/internal/defect"
@@ -52,11 +51,27 @@ type SweepConfig struct {
 	// RDefs and Us are the grid axes.
 	RDefs, Us []float64
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	// Ignored when Pool is set.
 	Parallelism int
+
+	// Memo, when non-nil, caches (and reuses) point outcomes across
+	// sweeps sharing the same Factory.
+	Memo *Memo
+	// Replay, when non-nil, shares simulation prefixes between points;
+	// it must have been built for this sweep's Factory, Open and
+	// Float.Nets.
+	Replay *ReplayCache
+	// Pool, when non-nil, bounds concurrency together with the other
+	// pipeline phases instead of a sweep-local limit.
+	Pool *Pool
 }
 
-// SweepPlane simulates every grid point, in parallel. Each point builds
-// its own defective memory, so points are fully independent.
+// SweepPlane simulates every grid point, in parallel. Points are fully
+// independent (each builds — or checks caches for — its own defective
+// memory state), so the sweep spawns one goroutine per point gated by a
+// semaphore. Failures park in per-point slots and the first one in grid
+// order is returned after all workers finish: a failing point can never
+// stall the sweep, no matter how many points fail.
 func SweepPlane(cfg SweepConfig) (*Plane, error) {
 	if len(cfg.RDefs) == 0 || len(cfg.Us) == 0 {
 		return nil, fmt.Errorf("analysis: empty sweep grid")
@@ -69,52 +84,46 @@ func SweepPlane(cfg SweepConfig) (*Plane, error) {
 		Us:    cfg.Us,
 	}
 	p.Points = make([][]Point, len(cfg.RDefs))
+	errs := make([][]error, len(cfg.RDefs))
 	for i := range p.Points {
 		p.Points[i] = make([]Point, len(cfg.Us))
+		errs[i] = make([]error, len(cfg.Us))
 	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(cfg.Parallelism)
 	}
-	type job struct{ i, j int }
-	jobs := make(chan job)
-	errs := make(chan error, par)
 	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				rdef, u := cfg.RDefs[jb.i], cfg.Us[jb.j]
-				out, err := RunSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS)
-				if err != nil {
-					select {
-					case errs <- fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err):
-					default:
-					}
-					return
-				}
-				pt := Point{RDef: rdef, U: u}
-				if obs, faulty := ClassifyOutcome(cfg.SOS, out); faulty {
-					pt.Faulty = true
-					pt.FP = obs
-					pt.FFM = obs.Classify()
-				}
-				p.Points[jb.i][jb.j] = pt
-			}
-		}()
-	}
 	for i := range cfg.RDefs {
 		for j := range cfg.Us {
-			jobs <- job{i, j}
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				pool.Do(func() {
+					rdef, u := cfg.RDefs[i], cfg.Us[j]
+					out, err := evalSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS, cfg.Memo, cfg.Replay)
+					if err != nil {
+						errs[i][j] = fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err)
+						return
+					}
+					pt := Point{RDef: rdef, U: u}
+					if obs, faulty := ClassifyOutcome(cfg.SOS, out); faulty {
+						pt.Faulty = true
+						pt.FP = obs
+						pt.FFM = obs.Classify()
+					}
+					p.Points[i][j] = pt
+				})
+			}(i, j)
 		}
 	}
-	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	for i := range errs {
+		for j := range errs[i] {
+			if errs[i][j] != nil {
+				return nil, errs[i][j]
+			}
+		}
 	}
 	return p, nil
 }

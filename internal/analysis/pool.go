@@ -1,0 +1,29 @@
+package analysis
+
+import "runtime"
+
+// Pool is a counting semaphore bounding concurrent simulations across
+// the whole analysis pipeline. BuildInventory shares one pool between
+// its sweeps and completion searches so total concurrency stays bounded
+// regardless of how many units run at once; only leaf simulation tasks
+// acquire a slot, never coordinating goroutines, which rules out
+// nested-hold deadlocks by construction.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool admitting n concurrent tasks; n <= 0 means
+// GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Do runs f while holding a pool slot, blocking until one is free.
+func (p *Pool) Do(f func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	f()
+}

@@ -12,19 +12,26 @@ import (
 )
 
 // Preflight runs every static check that can invalidate an analysis run
-// before any transient simulation: the netlist structural proofs
-// (floating nets, MNA solvability) and phase-model verification, the
-// per-open floating-line cross-check against the defect package's
-// Table 1 inventory, and the march-test lint. A finding at error
-// severity means the pipeline's inputs are inconsistent and its results
-// would be untrustworthy.
+// before any transient simulation: the technology-parameter range lint,
+// the netlist structural proofs (floating nets, MNA solvability) and
+// phase-model verification, the per-open floating-line cross-check
+// against the defect package's Table 1 inventory, and the march-test
+// lint. A finding at error severity means the pipeline's inputs are
+// inconsistent and its results would be untrustworthy.
 func Preflight(tech dram.Technology) (lint.Findings, error) {
+	techFindings := dram.LintTechnology(tech)
+	if techFindings.Count(lint.Error) > 0 {
+		// An unphysical technology may not even build a solvable
+		// netlist; report the parameter findings alone.
+		return techFindings, nil
+	}
 	col, err := dram.NewColumn(tech)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: preflight netlist build: %w", err)
 	}
 	az := netlint.New(col.Circuit(), dram.LintModel())
-	out := az.Check()
+	out := techFindings
+	out = append(out, az.Check()...)
 	out = append(out, CrossCheckOpens(az)...)
 	out = append(out, march.LintAll(march.All())...)
 	out.Sort()

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// ReplayCache accelerates repeated SOS applications against one
+// (open, floating-group) pair by sharing simulation prefixes. The
+// completion search evaluates dozens of candidate sequences per probe
+// point that differ only in their tails; a fresh-build run re-simulates
+// power-up, initialization and the shared operations every time. The
+// cache instead keeps, per probe resistance, one live Snapshotter memory
+// and a prefix tree whose edges are protocol steps —
+//
+//	setup(init, u) → op(kind, cell, data)* [→ idle]
+//
+// — and whose nodes hold the memory state snapshot plus the observed
+// victim bit and read value after that step. An SOS evaluation walks the
+// tree, restores the deepest cached state, and simulates only the unseen
+// suffix. Because Restore reproduces the dynamic state exactly (see
+// Snapshotter), the outcome is bit-for-bit the fresh-build outcome — the
+// equivalence tests assert this for both memory models.
+//
+// When the factory's memories do not implement Snapshotter, Run degrades
+// to plain fresh-build execution.
+type ReplayCache struct {
+	factory Factory
+	open    defect.Open
+	nets    []string
+
+	mu          sync.Mutex
+	roots       map[float64]*replayRoot
+	unsupported bool // factory memories are not Snapshotters
+
+	simulated atomic.Uint64 // protocol steps actually simulated
+	replayed  atomic.Uint64 // protocol steps served from the tree
+}
+
+// replayEdge is one protocol step. kind is 's' (setup), 'w' (write),
+// 'r' (read) or 'i' (idle); u and init are only set on setup edges,
+// cell and data only on operation edges.
+type replayEdge struct {
+	kind byte
+	cell int
+	data int
+	u    float64
+	init fp.Init
+}
+
+// replayNode is the memory state after applying the edge path from the
+// root, plus the observations made on arrival.
+type replayNode struct {
+	snap     any
+	f        int // VictimBit at this node
+	readVal  int // output of the read edge that created this node
+	children map[replayEdge]*replayNode
+}
+
+// replayRoot is the per-resistance tree: a live memory, its
+// post-power-up base state, and the node the memory currently sits at
+// (nil when unknown, forcing a restore before the next simulation).
+type replayRoot struct {
+	mu   sync.Mutex
+	mem  Snapshotter
+	base *replayNode
+	cur  *replayNode
+}
+
+// NewReplayCache creates a cache for one open and floating group.
+func NewReplayCache(factory Factory, open defect.Open, nets []string) *ReplayCache {
+	return &ReplayCache{
+		factory: factory,
+		open:    open,
+		nets:    nets,
+		roots:   map[float64]*replayRoot{},
+	}
+}
+
+// Run evaluates the SOS at (rdef, u) through the prefix tree. It is safe
+// for concurrent use; evaluations at different resistances proceed in
+// parallel, evaluations at the same resistance serialize on its root.
+func (rc *ReplayCache) Run(rdef float64, u float64, sos fp.SOS) (Outcome, error) {
+	root, err := rc.root(rdef)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if root == nil {
+		// Factory memories cannot snapshot; run plainly.
+		return RunSOS(rc.factory, rc.open, rdef, rc.nets, u, sos)
+	}
+	root.mu.Lock()
+	defer root.mu.Unlock()
+
+	cur, err := rc.walk(root, root.base, replayEdge{kind: 's', u: u, init: sos.Init})
+	if err != nil {
+		return Outcome{}, err
+	}
+	endsWithVictimRead := false
+	for i, op := range sos.Ops {
+		e := replayEdge{kind: 'w', data: op.Data}
+		if op.Kind == fp.OpRead {
+			e.kind = 'r'
+		}
+		if op.Target == fp.TargetBitLine {
+			e.cell = 1
+		}
+		cur, err = rc.walk(root, cur, e)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("analysis: op %d (%s): %w", i, op, err)
+		}
+		if e.kind == 'r' && e.cell == 0 {
+			endsWithVictimRead = i == len(sos.Ops)-1
+		}
+	}
+	if len(sos.Ops) == 0 {
+		cur, err = rc.walk(root, cur, replayEdge{kind: 'i'})
+		if err != nil {
+			return Outcome{}, fmt.Errorf("analysis: idle: %w", err)
+		}
+	}
+	out := Outcome{F: cur.f}
+	if endsWithVictimRead {
+		out.R = fp.ReadResultOf(cur.readVal)
+	}
+	return out, nil
+}
+
+// walk follows (or creates) the edge from node n. The root's lock must
+// be held.
+func (rc *ReplayCache) walk(root *replayRoot, n *replayNode, e replayEdge) (*replayNode, error) {
+	if next, ok := n.children[e]; ok {
+		rc.replayed.Add(1)
+		return next, nil
+	}
+	mem := root.mem
+	if root.cur != n {
+		mem.Restore(n.snap)
+		root.cur = n
+	}
+	readVal := 0
+	switch e.kind {
+	case 's':
+		switch e.init {
+		case fp.Init0:
+			mem.ForceVictim(0)
+		case fp.Init1:
+			mem.ForceVictim(1)
+		}
+		mem.SetFloat(rc.nets, e.u)
+	case 'w':
+		if err := mem.Write(e.cell, e.data); err != nil {
+			root.cur = nil // memory state is no longer a tree node
+			return nil, err
+		}
+	case 'r':
+		got, err := mem.Read(e.cell)
+		if err != nil {
+			root.cur = nil
+			return nil, err
+		}
+		readVal = got
+	case 'i':
+		if err := mem.Idle(); err != nil {
+			root.cur = nil
+			return nil, err
+		}
+	}
+	next := &replayNode{snap: mem.Snapshot(), f: mem.VictimBit(), readVal: readVal}
+	if n.children == nil {
+		n.children = map[replayEdge]*replayNode{}
+	}
+	n.children[e] = next
+	root.cur = next
+	rc.simulated.Add(1)
+	return next, nil
+}
+
+// root returns the per-resistance tree root, building the backing memory
+// on first use. A nil root (with nil error) signals that the factory's
+// memories cannot snapshot.
+func (rc *ReplayCache) root(rdef float64) (*replayRoot, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.unsupported {
+		return nil, nil
+	}
+	if r, ok := rc.roots[rdef]; ok {
+		return r, nil
+	}
+	mem, err := rc.factory(rc.open, rdef)
+	if err != nil {
+		return nil, err
+	}
+	snap, ok := mem.(Snapshotter)
+	if !ok {
+		rc.unsupported = true
+		if rel, isRel := mem.(Releaser); isRel {
+			rel.Release()
+		}
+		return nil, nil
+	}
+	r := &replayRoot{mem: snap}
+	r.base = &replayNode{snap: snap.Snapshot(), f: snap.VictimBit()}
+	r.cur = r.base
+	rc.roots[rdef] = r
+	return r, nil
+}
+
+// Stats reports how many protocol steps were simulated versus replayed
+// from the tree.
+func (rc *ReplayCache) Stats() (simulated, replayed uint64) {
+	return rc.simulated.Load(), rc.replayed.Load()
+}
+
+// Close releases the live memories back to their pool (when pooled) and
+// drops the trees. The cache must not be used afterwards.
+func (rc *ReplayCache) Close() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, r := range rc.roots {
+		if rel, ok := r.mem.(Releaser); ok {
+			rel.Release()
+		}
+	}
+	rc.roots = nil
+}

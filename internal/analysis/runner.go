@@ -7,6 +7,7 @@ package analysis
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
@@ -35,13 +36,39 @@ type Memory interface {
 	VictimBit() int
 }
 
+// Snapshotter is the optional Memory extension enabling the replay
+// cache: Snapshot captures the memory's full dynamic state as an opaque
+// value and Restore reinstates it exactly, so that simulation resumed
+// from a restored state is bit-for-bit the continuation of the original
+// run. Both the electrical and the analytical memories implement it.
+type Snapshotter interface {
+	Memory
+	// Snapshot returns an immutable opaque state handle.
+	Snapshot() any
+	// Restore reinstates a state previously returned by Snapshot on the
+	// same memory (or an identically configured one).
+	Restore(state any)
+}
+
+// Releaser is the optional Memory extension for pooled memories. RunSOS
+// releases the memory when it is done with it, returning the underlying
+// simulator to its factory's reuse pool.
+type Releaser interface {
+	Memory
+	// Release returns the memory to its pool. The memory must not be
+	// used afterwards.
+	Release()
+}
+
 // Factory builds a Memory with the given open injected at resistance
 // rdef. Implementations exist for the electrical column (NewSpiceFactory)
 // and the fast analytical model (behav.NewFactory).
 type Factory func(open defect.Open, rdef float64) (Memory, error)
 
 // NewSpiceFactory returns a Factory backed by the transient-simulated
-// DRAM column.
+// DRAM column. Every call builds a fresh column; prefer
+// NewPooledSpiceFactory for sweeps, which recycles columns and their
+// engines across points.
 func NewSpiceFactory(tech dram.Technology) Factory {
 	return func(open defect.Open, rdef float64) (Memory, error) {
 		col, err := dram.NewColumn(tech)
@@ -56,9 +83,59 @@ func NewSpiceFactory(tech dram.Technology) Factory {
 	}
 }
 
+// columnPool recycles dram.Column instances: netlist construction and
+// engine allocation are amortized across sweep points, and only the
+// cheap Reset + defect injection + PowerUp run per point.
+type columnPool struct {
+	mu   sync.Mutex
+	free []*dram.Column
+}
+
+func (p *columnPool) get(tech dram.Technology) (*dram.Column, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		col := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		col.Reset()
+		return col, nil
+	}
+	p.mu.Unlock()
+	return dram.NewColumn(tech)
+}
+
+func (p *columnPool) put(col *dram.Column) {
+	p.mu.Lock()
+	p.free = append(p.free, col)
+	p.mu.Unlock()
+}
+
+// NewPooledSpiceFactory returns a Factory backed by the electrical
+// column that recycles columns through a pool. The returned memories
+// implement Releaser (RunSOS returns them automatically) and
+// Snapshotter (enabling the replay cache). A recycled column is Reset to
+// its as-constructed state before reuse, so results are identical to a
+// freshly built column's — the equivalence tests prove this bit for bit.
+func NewPooledSpiceFactory(tech dram.Technology) Factory {
+	pool := &columnPool{}
+	return func(open defect.Open, rdef float64) (Memory, error) {
+		col, err := pool.get(tech)
+		if err != nil {
+			return nil, err
+		}
+		col.SetSiteResistance(open.Site, rdef)
+		if err := col.PowerUp(); err != nil {
+			pool.put(col)
+			return nil, fmt.Errorf("analysis: power-up with %s at %.3g Ω: %w", open.Name(), rdef, err)
+		}
+		return &spiceMemory{col: col, pool: pool}, nil
+	}
+}
+
 // spiceMemory adapts dram.Column to the Memory interface.
 type spiceMemory struct {
-	col *dram.Column
+	col  *dram.Column
+	pool *columnPool // nil for unpooled memories
 }
 
 func (m *spiceMemory) Write(cell, bit int) error  { return m.col.Write(cell, bit) }
@@ -79,6 +156,22 @@ func (m *spiceMemory) SetFloat(nets []string, u float64) {
 
 func (m *spiceMemory) VictimBit() int { return m.col.CellBit(0) }
 
+// Snapshot implements Snapshotter via the column's backward-Euler state
+// capture (node voltages, clock, control waveforms and levels).
+func (m *spiceMemory) Snapshot() any { return m.col.Snapshot() }
+
+// Restore implements Snapshotter.
+func (m *spiceMemory) Restore(state any) { m.col.Restore(state.(*dram.State)) }
+
+// Release implements Releaser for pooled memories; for unpooled ones it
+// is a no-op.
+func (m *spiceMemory) Release() {
+	if m.pool != nil {
+		m.pool.put(m.col)
+		m.col = nil
+	}
+}
+
 // Outcome is the observed behaviour of one SOS application.
 type Outcome struct {
 	// F is the victim state after the SOS.
@@ -89,12 +182,22 @@ type Outcome struct {
 
 // RunSOS applies the SOS to a freshly built defective memory following
 // the paper's protocol: establish the initial state, overwrite the
-// floating nets with u, apply the operations, observe (F, R).
+// floating nets with u, apply the operations, observe (F, R). Memories
+// implementing Releaser are returned to their pool before RunSOS
+// returns.
 func RunSOS(factory Factory, open defect.Open, rdef float64, floatNets []string, u float64, sos fp.SOS) (Outcome, error) {
 	mem, err := factory(open, rdef)
 	if err != nil {
 		return Outcome{}, err
 	}
+	if r, ok := mem.(Releaser); ok {
+		defer r.Release()
+	}
+	return runSOSOn(mem, floatNets, u, sos)
+}
+
+// runSOSOn applies the SOS protocol to an already built memory.
+func runSOSOn(mem Memory, floatNets []string, u float64, sos fp.SOS) (Outcome, error) {
 	switch sos.Init {
 	case fp.Init0:
 		mem.ForceVictim(0)
@@ -135,6 +238,33 @@ func RunSOS(factory Factory, open defect.Open, rdef float64, floatNets []string,
 	out := Outcome{F: mem.VictimBit()}
 	if endsWithVictimRead {
 		out.R = lastVictimRead
+	}
+	return out, nil
+}
+
+// evalSOS is the cache-aware entry point used by the sweep and
+// completion phases: memo lookup first, then the replay cache, then a
+// plain fresh-build run; the result is stored back into the memo.
+func evalSOS(factory Factory, open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS, memo *Memo, replay *ReplayCache) (Outcome, error) {
+	var key OutcomeKey
+	if memo != nil {
+		key = NewOutcomeKey(open, rdef, nets, u, sos)
+		if out, ok := memo.Lookup(key); ok {
+			return out, nil
+		}
+	}
+	var out Outcome
+	var err error
+	if replay != nil {
+		out, err = replay.Run(rdef, u, sos)
+	} else {
+		out, err = RunSOS(factory, open, rdef, nets, u, sos)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	if memo != nil {
+		memo.Store(key, out)
 	}
 	return out, nil
 }

@@ -29,7 +29,32 @@ func (a *memory) SetFloat(nets []string, u float64) {
 
 func (a *memory) VictimBit() int { return a.m.CellBit(0) }
 
+// modelState is the dynamic state of a Model within one analysis
+// protocol: parameters, capacitances and site resistances are fixed
+// after construction and defect injection, so node voltages plus the
+// clock fully determine all subsequent behaviour. (accG/accGV, the
+// compiled program and gcDt are per-step/per-run scratch.)
+type modelState struct {
+	v    [numNodes]float64
+	time float64
+}
+
+// Snapshot implements analysis.Snapshotter.
+func (a *memory) Snapshot() any {
+	return &modelState{v: a.m.v, time: a.m.time}
+}
+
+// Restore implements analysis.Snapshotter. It must only be applied to
+// the model that produced the snapshot (or one configured identically).
+func (a *memory) Restore(state any) {
+	s := state.(*modelState)
+	a.m.v = s.v
+	a.m.time = s.time
+}
+
 // NewFactory returns an analysis.Factory backed by the analytical model.
+// Model construction is cheap, so no pooling is needed; the memories
+// implement analysis.Snapshotter for the replay cache.
 func NewFactory(p Params) analysis.Factory {
 	return func(open defect.Open, rdef float64) (analysis.Memory, error) {
 		m := New(p)

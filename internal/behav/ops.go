@@ -26,15 +26,167 @@ type phase struct {
 // which is unconditionally stable (a convex combination) and resolves
 // simultaneous competition — e.g. the write driver overpowering the
 // sense amplifier — by conductance ratio, like the electrical model.
+//
+// The phase's resistive topology is compiled once per call into a term
+// program with all static conductances (and the per-step C/dt factors)
+// precomputed, so the inner step loop runs no divisions for static
+// terms. Compilation reads the live parameters and site resistances, so
+// there is no cache to invalidate; the term order matches the legacy
+// step() exactly, keeping every accumulation — and therefore every
+// result bit — identical.
 func (m *Model) run(dur float64, ph phase) {
 	steps := int(dur/m.P.DT + 0.5)
 	if steps < 1 {
 		steps = 1
 	}
 	dt := dur / float64(steps)
+	m.compile(ph, dt)
 	for s := 0; s < steps; s++ {
-		m.step(dt, ph)
+		m.stepProg(dt)
 	}
+}
+
+// termKind discriminates the compiled step-program entries.
+type termKind uint8
+
+const (
+	tPair   termKind = iota // static resistive pair: a—b with conductance g
+	tSrc                    // static source: node a pulled to vs with conductance g
+	tVictim                 // victim access device (gate-voltage dependent)
+	tSense                  // rule-based sense amplifier (sign dependent)
+)
+
+// term is one entry of the compiled per-phase step program.
+type term struct {
+	kind termKind
+	a, b int
+	g    float64
+	vs   float64
+}
+
+// compile lowers the phase's resistive topology into m.prog, precomputing
+// every static conductance, and fills m.gcDt with the per-node C/dt
+// factors for the update. Terms appear in exactly the order the legacy
+// step() accumulates them; only the victim access device and the sense
+// amplifier stay dynamic (they depend on per-step voltages) and read the
+// live parameters when executed.
+func (m *Model) compile(ph phase, dt float64) {
+	t := m.P.Tech
+	rw := m.P.RWire
+	site := func(i int) float64 {
+		if r := m.sites[i]; r > rw {
+			return r
+		}
+		return rw
+	}
+	p := m.prog[:0]
+	addPair := func(a, b int, r float64) { p = append(p, term{kind: tPair, a: a, b: b, g: 1 / r}) }
+	addSrc := func(a int, vs, r float64) { p = append(p, term{kind: tSrc, a: a, g: 1 / r, vs: vs}) }
+
+	wlTarget := 0.0
+	if ph.wl0 {
+		wlTarget = t.VPP
+	}
+	addSrc(nWL0Gate, wlTarget, m.sites[sOpen9]+100)
+
+	addPair(nBTPre, nBTCell, site(sOpen4))
+	addPair(nBTCell, nBTRef, site(sOpen5))
+	addPair(nBTRef, nBTSA, site(sOpen6))
+	addPair(nBTSA, nBTIO, site(sOpen8))
+	addPair(nBCPre, nBCCell, rw)
+	addPair(nBCCell, nBCRef, rw)
+	addPair(nBCRef, nBCSA, rw)
+	addPair(nBCSA, nBCIO, rw)
+
+	if ph.pre {
+		addSrc(nBTPre, t.VBLEQ, m.P.RPre+m.sites[sOpen3])
+		addSrc(nBCPre, t.VBLEQ, m.P.RPre)
+	}
+	if ph.dref {
+		addSrc(nRefC, t.VRefCell, m.P.RAccess+m.sites[sOpen2])
+		addSrc(nRefT, t.VRefCell, m.P.RAccess)
+	}
+
+	p = append(p, term{kind: tVictim})
+	if ph.wl1 {
+		addPair(nBTCell, nCell1, m.P.RAccess)
+	}
+	if ph.dwlc {
+		addPair(nBCRef, nRefC, m.P.RAccess+m.sites[sOpen2])
+	}
+	if ph.sen {
+		p = append(p, term{kind: tSense})
+	}
+
+	if ph.csl {
+		addPair(nBTIO, nIO, m.P.RCSL)
+		addPair(nBCIO, nIOB, m.P.RCSL)
+	}
+	if ph.wen {
+		hi, lo := 0.0, t.VDD
+		if ph.wdata == 1 {
+			hi, lo = t.VDD, 0
+		}
+		addSrc(nIO, hi, t.RWriteDriver)
+		addSrc(nIOB, lo, t.RWriteDriver)
+	}
+	if ph.ren {
+		addPair(nIO, nOutBuf, t.ROutSwitch)
+	}
+
+	addSrc(nCell0, 0, m.sites[sShortCellGnd])
+	addSrc(nBTCell, t.VDD, m.sites[sShortBLVdd])
+	addPair(nBTCell, nBCCell, m.sites[sBridgeBLBL])
+	addPair(nCell0, nCell1, m.sites[sBridgeCells])
+
+	m.prog = p
+	for n := 0; n < numNodes; n++ {
+		m.gcDt[n] = m.cap[n] / dt
+	}
+}
+
+// stepProg executes one Jacobi-implicit step of the compiled program.
+func (m *Model) stepProg(dt float64) {
+	for i := range m.accG {
+		m.accG[i] = 0
+		m.accGV[i] = 0
+	}
+	for i := range m.prog {
+		tm := &m.prog[i]
+		switch tm.kind {
+		case tPair:
+			g := tm.g
+			a, b := tm.a, tm.b
+			m.accG[a] += g
+			m.accGV[a] += g * m.v[b]
+			m.accG[b] += g
+			m.accGV[b] += g * m.v[a]
+		case tSrc:
+			a := tm.a
+			m.accG[a] += tm.g
+			m.accGV[a] += tm.g * tm.vs
+		case tVictim:
+			if frac := m.wlFraction(); frac > 1e-6 {
+				m.pair(nBTCell, nCell0, m.P.RAccess/frac+m.sites[sOpen1])
+			}
+		case tSense:
+			t := m.P.Tech
+			delta := m.v[nBTSA] - m.v[nBCSA] + m.P.VOffset
+			rDown := m.P.RSA + m.sites[sOpen7]
+			if delta >= 0 {
+				m.src(nBTSA, t.VDD, m.P.RSA)
+				m.src(nBCSA, 0, rDown)
+			} else {
+				m.src(nBCSA, t.VDD, m.P.RSA)
+				m.src(nBTSA, 0, rDown)
+			}
+		}
+	}
+	for n := 0; n < numNodes; n++ {
+		gc := m.gcDt[n]
+		m.v[n] = (gc*m.v[n] + m.accGV[n]) / (gc + m.accG[n])
+	}
+	m.time += dt
 }
 
 // pair accumulates a resistive connection between nodes a and b.

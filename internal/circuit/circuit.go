@@ -37,6 +37,44 @@ type BranchElement interface {
 	SetBranch(idx int)
 }
 
+// SplitStamper is implemented by linear elements whose system
+// contribution separates into a matrix part that is constant across the
+// Newton iterations of a timestep and a right-hand-side part. The engine
+// exploits the split to cache stamps:
+//
+//   - StampStaticA writes only into ctx.A. Under backward Euler (or DC)
+//     it may depend only on ctx.Dt and the element's own parameters, so
+//     the engine caches it per dt regime; under trapezoidal integration
+//     it may additionally depend on element state that changes only
+//     between timesteps (the engine then rebuilds it each step).
+//   - StampStepB writes only into ctx.B and may depend on ctx.Time,
+//     ctx.XPrev and element state — everything fixed within one step.
+//
+// Stamp must remain the exact sum of the two parts: the engine falls
+// back to it for elements that do not implement the split.
+type SplitStamper interface {
+	Element
+	StampStaticA(ctx *StampContext)
+	StampStepB(ctx *StampContext)
+}
+
+// GroundedSource is implemented by branch elements that force the
+// voltage of a single non-ground node relative to ground. The engine
+// eliminates both the node unknown and the branch-current unknown of
+// such sources from the solve: the node voltage is known a priori, and
+// its KCL row only serves to recover the (unused) source current. On the
+// DRAM column this shrinks the MNA system by more than half — every
+// control signal and supply rail is a grounded source.
+type GroundedSource interface {
+	Element
+	// PinnedNode returns the forced node index, the element's
+	// branch-unknown index in x, and whether the element qualifies
+	// (i.e. it connects one non-ground node to ground).
+	PinnedNode() (node, branch int, ok bool)
+	// PinnedValue returns the forced node voltage at time t.
+	PinnedValue(t float64) float64
+}
+
 // Committer is implemented by elements that carry integration state
 // beyond the node voltages (e.g. capacitor branch currents under
 // trapezoidal integration). Commit is called once per accepted timestep
@@ -61,6 +99,17 @@ type StampContext struct {
 	// Trapezoidal selects trapezoidal instead of backward-Euler
 	// companion models for reactive elements.
 	Trapezoidal bool
+
+	// RowMap, when non-nil, redirects the stamp helpers into a reduced
+	// system from which grounded-source unknowns have been eliminated:
+	// RowMap[i] is the reduced index of global x index i, or negative
+	// when that unknown was eliminated. A matrix entry landing in an
+	// eliminated column is a coupling to a known voltage and moves to
+	// the right-hand side using PinnedX, which holds the forced voltage
+	// for every eliminated x slot (in global indexing). X stays in
+	// global indexing either way, so V and VPrev are unaffected.
+	RowMap  []int
+	PinnedX []float64
 }
 
 // V returns the voltage of node n in the current Newton iterate.
@@ -80,18 +129,49 @@ func (ctx *StampContext) VPrev(n int) float64 {
 	return ctx.XPrev[n-1]
 }
 
+// addA accumulates into matrix entry (r, c) in global x indexing,
+// honouring the reduced-system mapping when one is installed.
+func (ctx *StampContext) addA(r, c int, v float64) {
+	if ctx.RowMap == nil {
+		ctx.A.Add(r, c, v)
+		return
+	}
+	rr := ctx.RowMap[r]
+	if rr < 0 {
+		return // the row's equation was eliminated
+	}
+	if rc := ctx.RowMap[c]; rc >= 0 {
+		ctx.A.Add(rr, rc, v)
+	} else {
+		// Coupling to a known voltage: A[r][c]·x[c] moves to the RHS.
+		ctx.B[rr] -= v * ctx.PinnedX[c]
+	}
+}
+
+// addB accumulates into right-hand-side entry r in global x indexing,
+// honouring the reduced-system mapping when one is installed.
+func (ctx *StampContext) addB(r int, v float64) {
+	if ctx.RowMap == nil {
+		ctx.B[r] += v
+		return
+	}
+	if rr := ctx.RowMap[r]; rr >= 0 {
+		ctx.B[rr] += v
+	}
+}
+
 // StampConductance adds a conductance g between nodes a and b
 // (either may be ground).
 func (ctx *StampContext) StampConductance(a, b int, g float64) {
 	if a != 0 {
-		ctx.A.Add(a-1, a-1, g)
+		ctx.addA(a-1, a-1, g)
 	}
 	if b != 0 {
-		ctx.A.Add(b-1, b-1, g)
+		ctx.addA(b-1, b-1, g)
 	}
 	if a != 0 && b != 0 {
-		ctx.A.Add(a-1, b-1, -g)
-		ctx.A.Add(b-1, a-1, -g)
+		ctx.addA(a-1, b-1, -g)
+		ctx.addA(b-1, a-1, -g)
 	}
 }
 
@@ -99,10 +179,10 @@ func (ctx *StampContext) StampConductance(a, b int, g float64) {
 // node b (i.e. out of a, into b).
 func (ctx *StampContext) StampCurrent(a, b int, i float64) {
 	if a != 0 {
-		ctx.B[a-1] -= i
+		ctx.addB(a-1, -i)
 	}
 	if b != 0 {
-		ctx.B[b-1] += i
+		ctx.addB(b-1, i)
 	}
 }
 
@@ -112,7 +192,7 @@ func (ctx *StampContext) StampCurrent(a, b int, i float64) {
 func (ctx *StampContext) StampTransconductance(outP, outN, inP, inN int, gm float64) {
 	add := func(r, c int, v float64) {
 		if r != 0 && c != 0 {
-			ctx.A.Add(r-1, c-1, v)
+			ctx.addA(r-1, c-1, v)
 		}
 	}
 	add(outP, inP, gm)

@@ -31,6 +31,16 @@ func (s *ISource) SetWaveform(w Waveform) {
 	s.wave = w
 }
 
+// StampStaticA implements circuit.SplitStamper: a current source has no
+// matrix contribution.
+func (s *ISource) StampStaticA(*circuit.StampContext) {}
+
+// StampStepB implements circuit.SplitStamper: the waveform current at
+// the step time.
+func (s *ISource) StampStepB(ctx *circuit.StampContext) {
+	ctx.StampCurrent(s.p, s.n, s.wave.At(ctx.Time))
+}
+
 // Stamp implements circuit.Element: a pure RHS contribution.
 func (s *ISource) Stamp(ctx *circuit.StampContext) {
 	ctx.StampCurrent(s.p, s.n, s.wave.At(ctx.Time))

@@ -50,6 +50,18 @@ func (r *Resistor) Stamp(ctx *circuit.StampContext) {
 	ctx.StampConductance(r.a, r.b, 1/r.ohms)
 }
 
+// StampStaticA implements circuit.SplitStamper: the conductance is the
+// whole contribution. Engines that cache static stamps must be
+// invalidated after SetResistance (dram.Column does this for its defect
+// sites).
+func (r *Resistor) StampStaticA(ctx *circuit.StampContext) {
+	ctx.StampConductance(r.a, r.b, 1/r.ohms)
+}
+
+// StampStepB implements circuit.SplitStamper: a resistor has no
+// right-hand-side contribution.
+func (r *Resistor) StampStepB(*circuit.StampContext) {}
+
 // Current returns the current flowing from node a to node b given a
 // solved voltage vector x (node voltages only, ground excluded).
 func (r *Resistor) Current(v func(int) float64) float64 {
@@ -107,6 +119,36 @@ func (c *Capacitor) Stamp(ctx *circuit.StampContext) {
 	// The companion current source injects geq·vPrev from b to a so that
 	// zero applied current keeps the capacitor voltage constant.
 	ctx.StampCurrent(c.b, c.a, geq*vPrev)
+}
+
+// StampStaticA implements circuit.SplitStamper: the companion
+// conductance. Under trapezoidal integration it depends on whether
+// branch-current state exists, which only changes between timesteps.
+func (c *Capacitor) StampStaticA(ctx *circuit.StampContext) {
+	if ctx.Dt <= 0 {
+		return // open at DC
+	}
+	if ctx.Trapezoidal && c.hasIPrev {
+		ctx.StampConductance(c.a, c.b, 2*c.farads/ctx.Dt)
+		return
+	}
+	ctx.StampConductance(c.a, c.b, c.farads/ctx.Dt)
+}
+
+// StampStepB implements circuit.SplitStamper: the companion current
+// source, fixed within a timestep (it depends only on the previous
+// step's solution).
+func (c *Capacitor) StampStepB(ctx *circuit.StampContext) {
+	if ctx.Dt <= 0 {
+		return
+	}
+	vPrev := ctx.VPrev(c.a) - ctx.VPrev(c.b)
+	if ctx.Trapezoidal && c.hasIPrev {
+		geq := 2 * c.farads / ctx.Dt
+		ctx.StampCurrent(c.b, c.a, geq*vPrev+c.iPrev)
+		return
+	}
+	ctx.StampCurrent(c.b, c.a, c.farads/ctx.Dt*vPrev)
 }
 
 // Commit implements circuit.Committer: records the branch current of the

@@ -55,5 +55,46 @@ func (v *VSource) Stamp(ctx *circuit.StampContext) {
 	ctx.B[br] += v.wave.At(ctx.Time)
 }
 
+// StampStaticA implements circuit.SplitStamper: the ±1 incidence
+// entries, which depend only on topology.
+func (v *VSource) StampStaticA(ctx *circuit.StampContext) {
+	br := v.branch
+	if v.p != 0 {
+		ctx.A.Add(v.p-1, br, 1)
+		ctx.A.Add(br, v.p-1, 1)
+	}
+	if v.n != 0 {
+		ctx.A.Add(v.n-1, br, -1)
+		ctx.A.Add(br, v.n-1, -1)
+	}
+}
+
+// StampStepB implements circuit.SplitStamper: the branch equation's
+// right-hand side is the waveform value at the step time.
+func (v *VSource) StampStepB(ctx *circuit.StampContext) {
+	ctx.B[v.branch] += v.wave.At(ctx.Time)
+}
+
+// PinnedNode implements circuit.GroundedSource: a source wired between
+// one node and ground forces that node's voltage outright, so the engine
+// may eliminate both the node and the branch unknown.
+func (v *VSource) PinnedNode() (node, branch int, ok bool) {
+	switch {
+	case v.p != 0 && v.n == 0:
+		return v.p, v.branch, true
+	case v.p == 0 && v.n != 0:
+		return v.n, v.branch, true
+	}
+	return 0, 0, false
+}
+
+// PinnedValue implements circuit.GroundedSource.
+func (v *VSource) PinnedValue(t float64) float64 {
+	if v.n == 0 {
+		return v.wave.At(t)
+	}
+	return -v.wave.At(t)
+}
+
 // BranchIndex returns the X-vector index holding this source's current.
 func (v *VSource) BranchIndex() int { return v.branch }

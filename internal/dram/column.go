@@ -339,6 +339,68 @@ func (c *Column) SetSiteResistance(site string, ohms float64) {
 		panic(fmt.Sprintf("dram: unknown defect site %q", site))
 	}
 	r.SetResistance(ohms)
+	// The site resistor is part of the engine's cached static stamp.
+	c.eng.InvalidateStamps()
+}
+
+// Reset returns the column to the state of a freshly built one: every
+// defect site healthy, every control source at DC 0 V, engine solution,
+// clock and element state zeroed. Together with SetSiteResistance and
+// PowerUp it lets a pool recycle columns across sweep grid points
+// instead of rebuilding the netlist, reproducing the fresh-build state
+// bit for bit (the reset column takes exactly the same code path a new
+// one would).
+func (c *Column) Reset() {
+	for site := range c.sites {
+		c.RestoreSite(site)
+	}
+	for sig, src := range c.ctl {
+		src.SetWaveform(device.DC(0))
+		c.ctlV[sig] = 0
+	}
+	c.eng.Reset()
+}
+
+// State is an opaque snapshot of a column's full dynamic state, as
+// captured by Snapshot and reinstated by Restore.
+type State struct {
+	x     []float64
+	time  float64
+	waves map[string]device.Waveform
+	ctlV  map[string]float64
+}
+
+// Snapshot captures the column's dynamic state: node voltages, clock,
+// scheduled control waveforms and their logical levels. Defect-site
+// resistances are deliberately not captured — a snapshot may only be
+// restored onto the same column (or one configured identically), which
+// is how the analysis layer's replay cache uses it. Waveform objects are
+// immutable once scheduled, so the snapshot shares them.
+func (c *Column) Snapshot() *State {
+	s := &State{
+		time:  c.eng.Time(),
+		waves: make(map[string]device.Waveform, len(c.ctl)),
+		ctlV:  make(map[string]float64, len(c.ctlV)),
+	}
+	s.x, s.time = c.eng.State()
+	for sig, src := range c.ctl {
+		s.waves[sig] = src.Waveform()
+	}
+	for sig, v := range c.ctlV {
+		s.ctlV[sig] = v
+	}
+	return s
+}
+
+// Restore reinstates a Snapshot taken from this column (or an
+// identically configured one). Only valid under backward-Euler
+// integration — the default for every column engine.
+func (c *Column) Restore(s *State) {
+	c.eng.RestoreState(s.x, s.time)
+	for sig, src := range c.ctl {
+		src.SetWaveform(s.waves[sig])
+		c.ctlV[sig] = s.ctlV[sig]
+	}
 }
 
 // SiteResistance returns the current resistance of a defect site.

@@ -1,0 +1,133 @@
+package dram
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// LintTechnology validates a Technology's electrical and timing
+// parameters before a sweep burns hours on a configuration that cannot
+// produce physical results. Errors mark configurations whose simulations
+// would be meaningless (non-positive capacitances, a word line that
+// cannot open its access device, a precharge phase shorter than the
+// bit-line RC constant); warnings mark configurations that simulate but
+// with degraded margins.
+func LintTechnology(t Technology) lint.Findings {
+	var out lint.Findings
+	add := func(sev lint.Severity, rule, format string, args ...any) {
+		out = append(out, lint.Finding{
+			Layer: "technology", Rule: rule, Severity: sev,
+			Subject: "Technology",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	caps := []struct {
+		name string
+		v    float64
+	}{
+		{"CCell", t.CCell}, {"CRefCell", t.CRefCell}, {"CWLGate", t.CWLGate},
+		{"CBLPre", t.CBLPre}, {"CBLCell", t.CBLCell}, {"CBLRef", t.CBLRef},
+		{"CBLSA", t.CBLSA}, {"CBLIO", t.CBLIO}, {"CIO", t.CIO},
+		{"COut", t.COut}, {"CSACommon", t.CSACommon},
+	}
+	for _, c := range caps {
+		if c.v <= 0 {
+			add(lint.Error, "tech-capacitance", "%s = %g F; every capacitance must be positive", c.name, c.v)
+		}
+	}
+
+	ress := []struct {
+		name string
+		v    float64
+	}{
+		{"RWire", t.RWire}, {"RWriteDriver", t.RWriteDriver},
+		{"ROutSwitch", t.ROutSwitch}, {"ROff", t.ROff},
+	}
+	for _, r := range ress {
+		if r.v <= 0 {
+			add(lint.Error, "tech-resistance", "%s = %g Ω; every resistance must be positive", r.name, r.v)
+		}
+	}
+	if ron := max(t.RWriteDriver, t.ROutSwitch); t.ROff > 0 && ron > 0 && t.ROff < 1e3*ron {
+		add(lint.Warning, "tech-off-resistance",
+			"ROff = %g Ω is under 1000× the largest on-resistance (%g Ω); open switches leak into the analysis", t.ROff, ron)
+	}
+
+	if t.VDD <= 0 {
+		add(lint.Error, "tech-voltage", "VDD = %g V must be positive", t.VDD)
+	}
+	vt := device.DefaultNMOS().Vt0
+	if t.VPP <= t.VDD {
+		add(lint.Error, "tech-wordline-boost",
+			"VPP = %g V does not exceed VDD = %g V; access devices drop the threshold and cells never see full rail", t.VPP, t.VDD)
+	} else if t.VPP < t.VDD+vt {
+		add(lint.Warning, "tech-wordline-boost",
+			"VPP = %g V leaves less than the access threshold Vt0 = %g V of boost over VDD = %g V; stored 1 levels degrade", t.VPP, vt, t.VDD)
+	}
+	if t.VBLEQ <= 0 || t.VBLEQ >= t.VDD {
+		add(lint.Error, "tech-precharge-level",
+			"VBLEQ = %g V must lie strictly between 0 and VDD = %g V for charge sharing to discriminate stored data", t.VBLEQ, t.VDD)
+	}
+	if t.LogicThreshold() <= 0 {
+		add(lint.Error, "tech-logic-threshold",
+			"LogicThreshold() = %g V is not positive; every net classifies as logic 1", t.LogicThreshold())
+	}
+	if t.VRefCell < 0 || t.VRefCell > t.VDD {
+		add(lint.Error, "tech-reference-level",
+			"VRefCell = %g V must lie within [0, VDD = %g V]", t.VRefCell, t.VDD)
+	}
+
+	times := []struct {
+		name string
+		v    float64
+	}{
+		{"TRamp", t.TRamp}, {"TPre", t.TPre}, {"TSettle", t.TSettle},
+		{"TShare", t.TShare}, {"TSense", t.TSense}, {"TWrite", t.TWrite},
+		{"TIO", t.TIO}, {"TClose", t.TClose}, {"DT", t.DT},
+	}
+	for _, p := range times {
+		if p.v <= 0 {
+			add(lint.Error, "tech-timing", "%s = %g s; every phase duration and the timestep must be positive", p.name, p.v)
+		}
+	}
+	if t.DT > 0 && t.TRamp > 0 && t.DT > t.TRamp {
+		add(lint.Error, "tech-timestep",
+			"DT = %g s exceeds the control ramp TRamp = %g s; ramps collapse to a single step and the transient is unresolved", t.DT, t.TRamp)
+	}
+	if t.WWLBoost <= 0 {
+		add(lint.Error, "tech-layout", "WWLBoost = %g must be positive", t.WWLBoost)
+	}
+
+	// Precharge RC constant: the precharge NMOS gates are driven to VPP,
+	// so the device equalizes the bit line toward VBLEQ with overdrive
+	// VPP − VBLEQ − Vt0. First order, the bit line settles with
+	// τ = CBL / (Kp·(W/L)·overdrive); TPre must cover ≥ 3τ or every
+	// operation starts from an unequalized bit line.
+	nmos := device.DefaultNMOS()
+	nmos.W *= t.WWLBoost
+	overdrive := t.VPP - t.VBLEQ - nmos.Vt0
+	if overdrive <= 0 {
+		add(lint.Error, "tech-precharge-rc",
+			"VPP = %g V cannot turn on the precharge devices toward VBLEQ = %g V (overdrive %g V ≤ 0)", t.VPP, t.VBLEQ, overdrive)
+	} else if t.TPre > 0 {
+		gPre := nmos.Kp * (nmos.W / nmos.L) * overdrive
+		if tau := t.CBLTotal() / gPre; t.TPre < 3*tau {
+			add(lint.Error, "tech-precharge-rc",
+				"TPre = %g s is under 3× the bit-line precharge RC constant τ = %g s; bit lines never reach VBLEQ", t.TPre, tau)
+		}
+	}
+	if t.TWrite > 0 && t.RWriteDriver > 0 && t.CIO > 0 && t.TWrite < 3*t.RWriteDriver*t.CIO {
+		add(lint.Error, "tech-write-rc",
+			"TWrite = %g s is under 3× the write-driver RC constant %g s; the IO line never reaches the driven level", t.TWrite, 3*t.RWriteDriver*t.CIO)
+	}
+	if t.TIO > 0 && t.ROutSwitch > 0 && t.COut > 0 && t.TIO < 3*t.ROutSwitch*t.COut {
+		add(lint.Error, "tech-read-rc",
+			"TIO = %g s is under 3× the output-sample RC constant %g s; the output buffer never tracks the IO line", t.TIO, 3*t.ROutSwitch*t.COut)
+	}
+
+	out.Sort()
+	return out
+}

@@ -1,0 +1,50 @@
+package dram
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// The calibrated default technology must lint clean — it backs every
+// golden table in the repository.
+func TestLintTechnologyDefaultClean(t *testing.T) {
+	if out := LintTechnology(Default()); out.Count(lint.Warning) > 0 {
+		t.Fatalf("default technology has findings:\n%s", out.Summary())
+	}
+}
+
+func TestLintTechnologyCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Technology)
+		rule   string
+	}{
+		{"negative cell cap", func(t *Technology) { t.CCell = -1e-15 }, "tech-capacitance"},
+		{"zero bitline cap", func(t *Technology) { t.CBLCell = 0 }, "tech-capacitance"},
+		{"negative driver resistance", func(t *Technology) { t.RWriteDriver = -300 }, "tech-resistance"},
+		{"leaky off switch", func(t *Technology) { t.ROff = 1e4 }, "tech-off-resistance"},
+		{"no supply", func(t *Technology) { t.VDD = 0 }, "tech-voltage"},
+		{"unboosted word line", func(t *Technology) { t.VPP = t.VDD }, "tech-wordline-boost"},
+		{"thin word-line boost", func(t *Technology) { t.VPP = t.VDD + 0.1 }, "tech-wordline-boost"},
+		{"precharge above rail", func(t *Technology) { t.VBLEQ = t.VDD + 0.1 }, "tech-precharge-level"},
+		{"reference above rail", func(t *Technology) { t.VRefCell = t.VDD + 0.1 }, "tech-reference-level"},
+		{"zero precharge phase", func(t *Technology) { t.TPre = 0 }, "tech-timing"},
+		{"negative timestep", func(t *Technology) { t.DT = -1e-12 }, "tech-timing"},
+		{"timestep past ramp", func(t *Technology) { t.DT = 1e-9 }, "tech-timestep"},
+		{"zero access width", func(t *Technology) { t.WWLBoost = 0 }, "tech-layout"},
+		{"precharge shorter than RC", func(t *Technology) { t.TPre = 1e-13 }, "tech-precharge-rc"},
+		{"write shorter than RC", func(t *Technology) { t.TWrite = 1e-13 }, "tech-write-rc"},
+		{"read shorter than RC", func(t *Technology) { t.TIO = 1e-13 }, "tech-read-rc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tech := Default()
+			tc.mutate(&tech)
+			out := LintTechnology(tech)
+			if len(out.ByRule(tc.rule)) == 0 {
+				t.Fatalf("expected a %s finding, got:\n%s", tc.rule, out.Summary())
+			}
+		})
+	}
+}

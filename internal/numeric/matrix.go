@@ -57,6 +57,17 @@ func (m *Matrix) Zero() {
 	}
 }
 
+// Row returns the storage slice of row i. Writing through it mutates the
+// matrix; it is the fast path used by the simulator's assembly and
+// reduction loops, which touch every row once per Newton iteration and
+// cannot afford per-element bounds checks.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("numeric: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.rows, m.cols)
