@@ -1,0 +1,162 @@
+// Command benchdiff compares two committed BENCH_*.json benchmark
+// snapshots and fails when the new one regresses beyond a noise band.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] [-force] OLD.json NEW.json
+//
+// The wall-clock comparison only makes sense on like hardware, so the
+// snapshots' host fields (GOOS, GOARCH, CPU count) must match; -force
+// compares anyway (deltas across machines are informational only, and
+// the exit code then ignores timing regressions).
+//
+// Exit codes: 0 no regression, 1 a benchmark slowed beyond the
+// threshold, 2 usage/IO error or host mismatch without -force.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// snapshot mirrors the schema written by TestBenchSnapshot.
+type snapshot struct {
+	Date      string            `json:"date"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Results   map[string]result `json:"results"`
+}
+
+type result struct {
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.15, "relative slowdown tolerated as noise (0.15 = +15%)")
+	force := fs.Bool("force", false, "compare snapshots from different hosts (informational; timing regressions do not fail)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.15] [-force] OLD.json NEW.json")
+		return 2
+	}
+	oldSnap, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newSnap, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	sameHost := oldSnap.GOOS == newSnap.GOOS && oldSnap.GOARCH == newSnap.GOARCH && oldSnap.NumCPU == newSnap.NumCPU
+	if !sameHost {
+		fmt.Fprintf(stderr, "benchdiff: host mismatch: %s/%s/%d CPU vs %s/%s/%d CPU\n",
+			oldSnap.GOOS, oldSnap.GOARCH, oldSnap.NumCPU, newSnap.GOOS, newSnap.GOARCH, newSnap.NumCPU)
+		if !*force {
+			return 2
+		}
+	}
+
+	names := map[string]bool{}
+	for n := range oldSnap.Results {
+		names[n] = true
+	}
+	for n := range newSnap.Results {
+		names[n] = true
+	}
+	order := make([]string, 0, len(names))
+	for n := range names {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	fmt.Fprintf(stdout, "%-42s %12s %12s %8s\n", "benchmark", "old ms/op", "new ms/op", "delta")
+	regressed := false
+	for _, n := range order {
+		o, haveOld := oldSnap.Results[n]
+		nw, haveNew := newSnap.Results[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(stdout, "%-42s %12s %12.3f %8s\n", n, "—", nw.NsPerOp/1e6, "new")
+			continue
+		case !haveNew:
+			fmt.Fprintf(stdout, "%-42s %12.3f %12s %8s\n", n, o.NsPerOp/1e6, "—", "gone")
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = nw.NsPerOp/o.NsPerOp - 1
+		}
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			if sameHost {
+				regressed = true
+			}
+		}
+		fmt.Fprintf(stdout, "%-42s %12.3f %12.3f %+7.1f%%%s\n", n, o.NsPerOp/1e6, nw.NsPerOp/1e6, delta*100, mark)
+		// Custom metrics are correctness counters (inventory sizes,
+		// faulty fractions); any drift is worth a line even though it
+		// does not gate the exit code.
+		for _, m := range sortedKeys(o.Metrics, nw.Metrics) {
+			ov, nv := o.Metrics[m], nw.Metrics[m]
+			if ov != nv {
+				fmt.Fprintf(stdout, "  metric %s: %g -> %g\n", m, ov, nv)
+			}
+		}
+	}
+	if regressed {
+		fmt.Fprintf(stdout, "FAIL: at least one benchmark slowed more than %.0f%%\n", *threshold*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "ok: no regression beyond the noise band")
+	return 0
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Results) == 0 {
+		return s, fmt.Errorf("%s: no benchmark results (not a BENCH_*.json snapshot?)", path)
+	}
+	return s, nil
+}
+
+func sortedKeys(ms ...map[string]float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

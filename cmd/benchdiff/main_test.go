@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, name string, s snapshot) string {
+	t.Helper()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseSnap() snapshot {
+	return snapshot{
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", NumCPU: 4,
+		Results: map[string]result{
+			"BenchmarkFast": {Iterations: 100, NsPerOp: 1e6},
+			"BenchmarkSlow": {Iterations: 10, NsPerOp: 5e8, Metrics: map[string]float64{"completed": 34}},
+		},
+	}
+}
+
+func TestIdenticalSnapshotsPass(t *testing.T) {
+	p := writeSnap(t, "a.json", baseSnap())
+	var out, errOut strings.Builder
+	if code := run([]string{p, p}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestRegressionBeyondBandFails(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	slowed := baseSnap()
+	slowed.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 1.5e6} // +50%
+	nw := writeSnap(t, "new.json", slowed)
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out.String())
+	}
+	// A wider band absorbs the same slowdown as noise.
+	out.Reset()
+	if code := run([]string{"-threshold", "0.6", old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("exit with -threshold 0.6 = %d, want 0\n%s", code, out.String())
+	}
+}
+
+func TestSpeedupAndMetricDriftPass(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	faster := baseSnap()
+	faster.Results["BenchmarkSlow"] = result{Iterations: 20, NsPerOp: 2e8, Metrics: map[string]float64{"completed": 35}}
+	nw := writeSnap(t, "new.json", faster)
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "metric completed: 34 -> 35") {
+		t.Errorf("metric drift not reported:\n%s", out.String())
+	}
+}
+
+func TestHostMismatchNeedsForce(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	other := baseSnap()
+	other.NumCPU = 96
+	other.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 9e6}
+	nw := writeSnap(t, "new.json", other)
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2 on host mismatch", code)
+	}
+	if !strings.Contains(errOut.String(), "host mismatch") {
+		t.Errorf("stderr should explain the mismatch:\n%s", errOut.String())
+	}
+	// -force compares informationally: the cross-host slowdown is shown
+	// but must not fail the run.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-force", old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("exit with -force = %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("-force should still show the delta marker:\n%s", out.String())
+	}
+}
+
+func TestMissingAndNewBenchmarksAreListed(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	changed := baseSnap()
+	delete(changed.Results, "BenchmarkSlow")
+	changed.Results["BenchmarkAdded"] = result{Iterations: 5, NsPerOp: 1e7}
+	nw := writeSnap(t, "new.json", changed)
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	for _, want := range []string{"new", "gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q column:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageAndBadInputExitTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Errorf("exit with one arg = %d, want 2", code)
+	}
+	if code := run([]string{"nope.json", "nope.json"}, &out, &errOut); code != 2 {
+		t.Errorf("exit with missing file = %d, want 2", code)
+	}
+	empty := writeSnap(t, "empty.json", snapshot{GOOS: "linux"})
+	if code := run([]string{empty, empty}, &out, &errOut); code != 2 {
+		t.Errorf("exit with empty results = %d, want 2", code)
+	}
+}
+
+// The committed repository snapshot must stay loadable and self-compare
+// clean — the exact invocation CI smokes.
+func TestCommittedSnapshotSelfCompares(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Skip("no committed BENCH_*.json snapshot")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{matches[0], matches[0]}, &out, &errOut); code != 0 {
+		t.Fatalf("self-compare of %s: exit %d\n%s%s", matches[0], code, out.String(), errOut.String())
+	}
+}

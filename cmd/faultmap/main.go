@@ -44,6 +44,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
+		defSite   = flag.String("defect", "", "short/bridge defect site (e.g. short.cell.gnd); with -predict, prints the net-merge verdict table instead of an open's float set")
 	)
 	flag.Parse()
 
@@ -51,6 +52,10 @@ func main() {
 		preflight()
 	}
 
+	if *defSite != "" {
+		predictMerge(*defSite)
+		return
+	}
 	open, ok := defect.ByID(*openID)
 	if !ok {
 		fatalf("unknown open %d; the paper defines opens 1-9", *openID)
@@ -130,6 +135,39 @@ func predictFloats(open defect.Open) {
 	fmt.Printf("open %d cuts element %s\n", open.ID, dram.SiteElementName(open.Site))
 	fmt.Printf("primary floats:   %s\n", joinOrNone(pred.Primary))
 	fmt.Printf("secondary floats: %s\n", joinOrNone(pred.Secondary))
+}
+
+// predictMerge prints the net-merge verdict table for a short/bridge
+// defect site: which nets become electrically identified, whether the
+// merged class is supply-stuck or contested per phase, and the (empty)
+// floating prediction — the paper's Section 2 negative result, proven
+// statically.
+func predictMerge(site string) {
+	var sb defect.ShortOrBridge
+	found := false
+	var sites []string
+	for _, s := range defect.ShortsAndBridges() {
+		sites = append(sites, s.Site)
+		if s.Site == site {
+			sb, found = s, true
+		}
+	}
+	if !found {
+		fatalf("unknown defect site %q; catalog: %s", site, strings.Join(sites, ", "))
+	}
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		fatalf("predict: %v", err)
+	}
+	az := netlint.New(col.Circuit(), dram.LintModel())
+	pred, err := az.PredictMerges([]string{dram.SiteElementName(sb.Site)})
+	if err != nil {
+		fatalf("predict: %v", err)
+	}
+	fmt.Printf("%s: %s\n", sb.Name(), sb.Description)
+	if err := report.WriteMergePrediction(os.Stdout, pred); err != nil {
+		fatalf("predict: %v", err)
+	}
 }
 
 func joinOrNone(nets []string) string {

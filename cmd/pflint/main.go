@@ -126,6 +126,25 @@ func seededBadFindings() lint.Findings {
 	badTech.VPP = badTech.VDD - 1 // no word-line boost
 	badTech.TPre = 1e-13          // precharge shorter than the bit-line RC
 	out = append(out, dram.LintTechnology(badTech)...)
+
+	// A rail-to-rail short: merging vdd and vpp contracts two different
+	// supplies into one class, which the net-merge prover must report as
+	// a contested supply pair.
+	sck := circuit.New()
+	svdd := sck.Node("vdd")
+	svpp := sck.Node("vpp")
+	sout := sck.Node("out")
+	sck.MustAdd(device.NewVSource("V1", svdd, 0, device.DC(1.8)))
+	sck.MustAdd(device.NewVSource("V2", svpp, 0, device.DC(3.3)))
+	sck.MustAdd(device.NewResistor("R_load", svdd, sout, 1e3))
+	sck.MustAdd(device.NewResistor("R_gnd", sout, 0, 1e3))
+	sck.MustAdd(device.NewResistor("R_short", svdd, svpp, 10))
+	sck.Freeze()
+	merged := netlint.New(sck, netlint.Model{
+		Phases: []netlint.Phase{{Name: "on"}},
+		Roles:  map[string][]string{"out": {"on"}},
+	})
+	out = append(out, merged.CheckMerges([]string{"R_short"})...)
 	out.Sort()
 	return out
 }

@@ -22,7 +22,7 @@ func TestSelftestExitsNonzero(t *testing.T) {
 	if code := run([]string{"-selftest"}, &out, &errOut); code != 1 {
 		t.Fatalf("exit = %d on seeded bad inputs, want 1\nstderr:\n%s", code, errOut.String())
 	}
-	for _, want := range []string{"floating-net", "vsource-loop", "contradictory-read"} {
+	for _, want := range []string{"floating-net", "vsource-loop", "contradictory-read", "merge-supply-pair"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("selftest output missing %q:\n%s", want, out.String())
 		}

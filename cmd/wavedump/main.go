@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,34 +22,46 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wavedump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		openID = flag.Int("open", 0, "open defect number to inject (0 = healthy)")
-		rdef   = flag.Float64("rdef", 1e6, "open resistance [Ω]")
-		u      = flag.Float64("u", -1, "floating-voltage initialization before the last operation [V] (-1 = none)")
-		opsStr = flag.String("ops", "w1,r1", "comma-separated operations: w0,w1,r0,r1 (to the victim) or W0,W1 (to the bit-line neighbour)")
-		nets   = flag.String("nets", dram.NetBTSA+","+dram.NetBCSA+","+dram.NetCell0Store, "comma-separated nets to record")
+		openID = fs.Int("open", 0, "open defect number to inject (0 = healthy)")
+		rdef   = fs.Float64("rdef", 1e6, "open resistance [Ω]")
+		u      = fs.Float64("u", -1, "floating-voltage initialization before the last operation [V] (-1 = none)")
+		opsStr = fs.String("ops", "w1,r1", "comma-separated operations: w0,w1,r0,r1 (to the victim) or W0,W1 (to the bit-line neighbour)")
+		nets   = fs.String("nets", dram.NetBTSA+","+dram.NetBCSA+","+dram.NetCell0Store, "comma-separated nets to record")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	col, err := dram.NewColumn(dram.Default())
 	if err != nil {
-		fatalf("build column: %v", err)
+		return fail(stderr, "build column: %v", err)
 	}
 	var floatNets []string
 	if *openID != 0 {
 		o, ok := defect.ByID(*openID)
 		if !ok {
-			fatalf("unknown open %d", *openID)
+			return fail(stderr, "unknown open %d", *openID)
 		}
 		col.SetSiteResistance(o.Site, *rdef)
 		floatNets = o.Floats[0].Nets
 	}
 	if err := col.PowerUp(); err != nil {
-		fatalf("power-up: %v", err)
+		return fail(stderr, "power-up: %v", err)
 	}
 
 	ops := strings.Split(*opsStr, ",")
-	rec, release := col.Capture(strings.Split(*nets, ",")...)
+	netList := strings.Split(*nets, ",")
+	rec, release, err := col.Capture(netList...)
+	if err != nil {
+		return fail(stderr, "capture: %v", err)
+	}
 	defer release()
 
 	for i, op := range ops {
@@ -56,19 +69,33 @@ func main() {
 		if i == len(ops)-1 && *u >= 0 && len(floatNets) > 0 {
 			col.SetNodeVoltages(*u, floatNets...)
 		}
-		if err := apply(col, op); err != nil {
-			fatalf("op %q: %v", op, err)
+		if err := apply(col, op, stderr); err != nil {
+			return fail(stderr, "op %q: %v", op, err)
 		}
 	}
-	if err := rec.WriteCSV(os.Stdout); err != nil {
-		fatalf("csv: %v", err)
+	if err := rec.WriteCSV(stdout); err != nil {
+		return fail(stderr, "csv: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "wavedump: %d ops, victim cell at %.3f V, output %d\n",
+	// Per-net summary. Trace returns nil for any net the recorder did
+	// not capture, so the lookup is guarded even though netList was
+	// validated above — a released recorder or an empty run must degrade
+	// to a diagnostic, not a panic.
+	for _, n := range netList {
+		tr := rec.Trace(n)
+		if tr == nil || tr.Len() == 0 {
+			fmt.Fprintf(stderr, "wavedump: %-8s no samples recorded\n", n)
+			continue
+		}
+		fmt.Fprintf(stderr, "wavedump: %-8s last %.3f V (min %.3f, max %.3f)\n",
+			n, tr.Last(), tr.Min(), tr.Max())
+	}
+	fmt.Fprintf(stderr, "wavedump: %d ops, victim cell at %.3f V, output %d\n",
 		len(ops), col.CellVoltage(0), col.OutputBit())
+	return 0
 }
 
 // apply performs one operation token on the column.
-func apply(col *dram.Column, op string) error {
+func apply(col *dram.Column, op string, stderr io.Writer) error {
 	if len(op) != 2 {
 		return fmt.Errorf("bad operation token")
 	}
@@ -88,13 +115,13 @@ func apply(col *dram.Column, op string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wavedump: %s returned %d\n", op, got)
+		fmt.Fprintf(stderr, "wavedump: %s returned %d\n", op, got)
 		return nil
 	}
 	return fmt.Errorf("bad operation kind")
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "wavedump: "+format+"\n", args...)
-	os.Exit(1)
+func fail(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "wavedump: "+format+"\n", args...)
+	return 1
 }

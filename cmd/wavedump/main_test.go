@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Capturing the ground net and a supply-pinned net must work: ground
+// reads a constant 0 and the reduced-MNA machinery still reports the
+// eliminated supply net at its pinned voltage. Historically this path
+// could only panic (unknown-net capture, nil Trace dereference); the
+// regression pins the graceful behaviour.
+func TestRunCapturesGroundAndEliminatedNet(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-ops", "w1,r1", "-nets", "0,vddn,btS"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want samples", len(lines))
+	}
+	if lines[0] != "time,0,vddn,btS" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	if len(last) != 4 {
+		t.Fatalf("CSV row has %d fields: %q", len(last), lines[len(lines)-1])
+	}
+	gnd, err := strconv.ParseFloat(last[1], 64)
+	if err != nil || gnd != 0 {
+		t.Errorf("ground column = %q, want 0", last[1])
+	}
+	vdd, err := strconv.ParseFloat(last[2], 64)
+	if err != nil || vdd < 3.2 || vdd > 3.4 {
+		t.Errorf("vddn column = %q, want ≈3.3", last[2])
+	}
+	if !strings.Contains(errOut.String(), "r1 returned 1") {
+		t.Errorf("read-back missing from stderr:\n%s", errOut.String())
+	}
+}
+
+// A typo in -nets must exit with a diagnostic, not a panic.
+func TestRunRejectsUnknownNet(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nets", "btS,nope"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown net "nope"`) {
+		t.Errorf("stderr should name the unknown net:\n%s", errOut.String())
+	}
+}

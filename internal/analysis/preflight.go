@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/memtest/partialfaults/internal/circuit"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
 	"github.com/memtest/partialfaults/internal/lint"
@@ -33,6 +34,7 @@ func Preflight(tech dram.Technology) (lint.Findings, error) {
 	out := techFindings
 	out = append(out, az.Check()...)
 	out = append(out, CrossCheckOpens(az)...)
+	out = append(out, CrossCheckShortsBridges(az)...)
 	out = append(out, march.LintAll(march.All())...)
 	out.Sort()
 	return out, nil
@@ -93,6 +95,44 @@ func CrossCheckOpens(az *netlint.Analyzer) lint.Findings {
 				Message: fmt.Sprintf("nets %v additionally lose drive because a floating control net starves their access gates; the sweep models this through the mediating variable", sec),
 			})
 		}
+	}
+	out.Sort()
+	return out
+}
+
+// CrossCheckShortsBridges runs the static net-merge prover over every
+// catalog short/bridge and verifies the netlist against the catalog's
+// declarations: each defect must merge exactly the two nets the catalog
+// says it does (merge-mismatch otherwise — the netlist and the Section 2
+// inventory have drifted apart), and the prover's standing findings
+// apply — no floating group may appear on the merged graph and no class
+// may contain two supplies. The per-class verdicts ride along as
+// informational merge-class findings so reports show what each defect
+// does per phase.
+func CrossCheckShortsBridges(az *netlint.Analyzer) lint.Findings {
+	var out lint.Findings
+	for _, sb := range defect.ShortsAndBridges() {
+		pred, err := az.PredictMerges([]string{dram.SiteElementName(sb.Site)})
+		if err != nil {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "merge-analysis", Severity: lint.Error,
+				Subject: sb.Name(), Message: err.Error(),
+			})
+			continue
+		}
+		want := circuit.MergeName(sb.Merges[:])
+		var got []string
+		for _, mc := range pred.Classes {
+			got = append(got, mc.Name)
+		}
+		if len(got) != 1 || got[0] != want {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "merge-mismatch", Severity: lint.Error,
+				Subject: sb.Name(),
+				Message: fmt.Sprintf("graph contraction yields classes %v but the defect catalog declares the merge %q; netlist and catalog have drifted apart", got, want),
+			})
+		}
+		out = append(out, pred.Findings()...)
 	}
 	out.Sort()
 	return out

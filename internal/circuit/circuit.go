@@ -208,6 +208,7 @@ type Circuit struct {
 	elements []Element
 	elemByID map[string]Element
 	branches int
+	frozen   bool
 }
 
 // New returns an empty circuit containing only the ground net.
@@ -260,6 +261,9 @@ func (c *Circuit) Size() int { return c.NumNodes() + c.branches }
 // both always indicate a netlist construction bug, and letting them
 // through would stamp a silently wrong or singular system.
 func (c *Circuit) Add(e Element) error {
+	if c.frozen {
+		return fmt.Errorf("circuit: cannot add element %q after Freeze: branch indices are already final", e.Name())
+	}
 	if _, dup := c.elemByID[e.Name()]; dup {
 		return fmt.Errorf("circuit: duplicate element name %q", e.Name())
 	}
@@ -294,8 +298,11 @@ func (c *Circuit) Elements() []Element { return c.elements }
 
 // Freeze finalizes node numbering and reassigns branch indices so they
 // follow all node unknowns. It must be called once all nets and elements
-// are added and before simulation. Adding nets after Freeze panics at
-// stamp time via index checks.
+// are added and before simulation: until then branch indices are
+// provisional (Add hands them out under a node count that later nets can
+// invalidate), so consumers that stamp or solve must refuse an unfrozen
+// circuit rather than index a stale slot. Freeze is idempotent; Add
+// rejects further elements once the circuit is frozen.
 func (c *Circuit) Freeze() {
 	branch := c.NumNodes()
 	for _, e := range c.elements {
@@ -304,6 +311,46 @@ func (c *Circuit) Freeze() {
 			branch++
 		}
 	}
+	c.frozen = true
+}
+
+// Frozen reports whether Freeze has been called, i.e. whether branch
+// indices are final and the circuit is safe to stamp.
+func (c *Circuit) Frozen() bool { return c.frozen }
+
+// MergeName returns the canonical display name for an electrical
+// equivalence class of nets, as produced when a short or bridge defect
+// merges previously distinct nets. Ground sorts first (a class containing
+// ground IS ground), the rest alphabetically, joined with "=" so that
+// "btC=vddn" reads as "btC identified with vddn". Duplicates are
+// dropped; an empty class yields "".
+func MergeName(names []string) string {
+	seen := map[string]bool{}
+	var rest []string
+	ground := false
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n == Ground {
+			ground = true
+			continue
+		}
+		rest = append(rest, n)
+	}
+	sort.Strings(rest)
+	if ground {
+		rest = append([]string{Ground}, rest...)
+	}
+	out := ""
+	for i, n := range rest {
+		if i > 0 {
+			out += "="
+		}
+		out += n
+	}
+	return out
 }
 
 // NodeNames returns all non-ground net names in sorted order.

@@ -195,3 +195,64 @@ func TestStampHelpers(t *testing.T) {
 		t.Error("VCCS stamp pattern wrong")
 	}
 }
+
+// TestFreezeFinalizesBranchIndices reproduces the stale-branch-index
+// misuse: a branch element added before later nets receives a
+// provisional index that Freeze must move past all node unknowns. Using
+// the provisional index would alias a node slot in x — exactly the bug
+// the Frozen guard exists to catch.
+func TestFreezeFinalizesBranchIndices(t *testing.T) {
+	c := New()
+	c.Node("a")
+	v := &branchStub{stub: stub{name: "V1"}}
+	if err := c.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	provisional := v.branch // NumNodes()+0 == 1 at this point
+	c.Node("b")
+	c.Node("d")
+	if c.Frozen() {
+		t.Fatal("circuit must not report frozen before Freeze")
+	}
+	c.Freeze()
+	if !c.Frozen() {
+		t.Fatal("circuit must report frozen after Freeze")
+	}
+	if v.branch == provisional {
+		t.Fatalf("branch index %d not reassigned after late nets; pre-Freeze index is stale", v.branch)
+	}
+	if want := c.NumNodes(); v.branch != want {
+		t.Errorf("final branch index = %d, want %d (first slot after the node unknowns)", v.branch, want)
+	}
+}
+
+func TestAddAfterFreezeRejected(t *testing.T) {
+	c := New()
+	c.Node("a")
+	c.Freeze()
+	if err := c.Add(&stub{name: "R9"}); err == nil {
+		t.Error("Add after Freeze must return an error")
+	}
+	c.Freeze() // idempotent: a second Freeze must not panic or reassign
+	if !c.Frozen() {
+		t.Error("Freeze must be idempotent")
+	}
+}
+
+func TestMergeName(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"btC"}, "btC"},
+		{[]string{"vddn", "btC"}, "btC=vddn"},
+		{[]string{"c0s", Ground}, "0=c0s"},
+		{[]string{"b", "a", "b", Ground, "a"}, "0=a=b"},
+	}
+	for _, tc := range cases {
+		if got := MergeName(tc.in); got != tc.want {
+			t.Errorf("MergeName(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -23,6 +23,12 @@ type ShortOrBridge struct {
 	// storage node holds whatever it is set to by design, so sweeping it
 	// tests retention, not floating-line normalization.
 	Probe FloatGroup
+	// Merges declares the two nets the defect electrically identifies —
+	// a signal net and a supply for a short, two signal nets for a
+	// bridge. The static net-merge prover (netlint.PredictMerges) is
+	// cross-checked against this declaration, keeping the catalog and
+	// the netlist machine-verified against each other.
+	Merges [2]string
 }
 
 // Name returns a display name.
@@ -38,21 +44,25 @@ func ShortsAndBridges() []ShortOrBridge {
 			Class: ClassShort, Site: dram.SiteShortCellGnd,
 			Description: "victim storage node shorted to ground",
 			Probe:       blProbe,
+			Merges:      [2]string{dram.NetCell0Store, "0"},
 		},
 		{
 			Class: ClassShort, Site: dram.SiteShortBLVdd,
 			Description: "bit line shorted to VDD",
 			Probe:       blProbe,
+			Merges:      [2]string{dram.NetBTCell, "vddn"},
 		},
 		{
 			Class: ClassBridge, Site: dram.SiteBridgeBLBL,
 			Description: "bridge between the true and complementary bit lines",
 			Probe:       blProbe,
+			Merges:      [2]string{dram.NetBTCell, dram.NetBCCell},
 		},
 		{
 			Class: ClassBridge, Site: dram.SiteBridgeCells,
 			Description: "bridge between the victim and the neighbouring cell",
 			Probe:       blProbe,
+			Merges:      [2]string{dram.NetCell0Store, dram.NetCell1Store},
 		},
 	}
 }

@@ -1,0 +1,73 @@
+package defect
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+// TestShortBridgeCatalogCoversEverySiteOnce pins the catalog to the
+// netlist: every short/bridge site the column declares appears exactly
+// once in ShortsAndBridges(), and the catalog names no site the column
+// does not have. A drift in either direction would silently shrink the
+// negative-result cross-check's coverage.
+func TestShortBridgeCatalogCoversEverySiteOnce(t *testing.T) {
+	wantSites := []string{
+		dram.SiteShortCellGnd,
+		dram.SiteShortBLVdd,
+		dram.SiteBridgeBLBL,
+		dram.SiteBridgeCells,
+	}
+	count := map[string]int{}
+	for _, sb := range ShortsAndBridges() {
+		count[sb.Site]++
+	}
+	for _, site := range wantSites {
+		if count[site] != 1 {
+			t.Errorf("site %q appears %d times in ShortsAndBridges(), want exactly 1", site, count[site])
+		}
+		delete(count, site)
+	}
+	for site, n := range count {
+		t.Errorf("catalog names site %q (%d times) that the column does not declare", site, n)
+	}
+}
+
+// TestShortBridgeCatalogShape checks the per-entry invariants the
+// analysis relies on: a short merges a signal net with a supply, a
+// bridge merges two signal nets, every entry sweeps a line probe, and
+// the AsOpenDescriptor adapter carries the simulation marker with the
+// non-Figure-2 ID of 0.
+func TestShortBridgeCatalogShape(t *testing.T) {
+	supplies := map[string]bool{"0": true, "vddn": true, "vref": true, "vbleqS": true}
+	for _, sb := range ShortsAndBridges() {
+		if sb.Merges[0] == "" || sb.Merges[1] == "" || sb.Merges[0] == sb.Merges[1] {
+			t.Errorf("%s: malformed Merges %v", sb.Site, sb.Merges)
+		}
+		nSupply := 0
+		for _, net := range sb.Merges {
+			if supplies[net] {
+				nSupply++
+			}
+		}
+		switch sb.Class {
+		case ClassShort:
+			if nSupply != 1 {
+				t.Errorf("%s: a short must merge exactly one supply net, Merges %v has %d", sb.Site, sb.Merges, nSupply)
+			}
+		case ClassBridge:
+			if nSupply != 0 {
+				t.Errorf("%s: a bridge must merge signal nets only, Merges %v has %d supplies", sb.Site, sb.Merges, nSupply)
+			}
+		default:
+			t.Errorf("%s: unexpected class %v", sb.Site, sb.Class)
+		}
+		if len(sb.Probe.Nets) == 0 {
+			t.Errorf("%s: no probe nets", sb.Site)
+		}
+		od := sb.AsOpenDescriptor()
+		if od.ID != 0 || !od.Simulated || od.Site != sb.Site {
+			t.Errorf("%s: AsOpenDescriptor = %+v", sb.Site, od)
+		}
+	}
+}

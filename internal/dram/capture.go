@@ -8,16 +8,18 @@ import (
 )
 
 // Capture attaches a waveform recorder to the column: every transient
-// step appends one sample per requested net. It returns the recorder and
-// a release function that detaches it. Capturing replaces any previously
-// installed Observe hook.
-func (c *Column) Capture(nets ...string) (*wave.Recorder, func()) {
+// step appends one sample per requested net. It returns the recorder
+// and a release function that detaches it, or an error naming the first
+// unknown net — net lists arrive from command-line flags, so a typo
+// must surface as a diagnostic, not a panic. Capturing replaces any
+// previously installed Observe hook.
+func (c *Column) Capture(nets ...string) (*wave.Recorder, func(), error) {
 	if len(nets) == 0 {
-		panic("dram: Capture requires at least one net")
+		return nil, nil, fmt.Errorf("dram: Capture requires at least one net")
 	}
 	for _, n := range nets {
 		if _, ok := c.ckt.NodeIndex(n); !ok {
-			panic(fmt.Sprintf("dram: unknown net %q", n))
+			return nil, nil, fmt.Errorf("dram: unknown net %q", n)
 		}
 	}
 	rec := wave.NewRecorder(nets...)
@@ -28,5 +30,5 @@ func (c *Column) Capture(nets ...string) (*wave.Recorder, func()) {
 		}
 		rec.Sample(e.Time(), vals...)
 	}
-	return rec, func() { c.Observe = nil }
+	return rec, func() { c.Observe = nil }, nil
 }

@@ -11,7 +11,10 @@ func TestCaptureReadWaveforms(t *testing.T) {
 	if err := c.Write(0, 1); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	rec, release := c.Capture(NetBTSA, NetBCSA, NetCell0Store)
+	rec, release, err := c.Capture(NetBTSA, NetBCSA, NetCell0Store)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
 	defer release()
 	start := c.Engine().Time()
 	if _, err := c.Read(0); err != nil {
@@ -42,7 +45,10 @@ func TestCaptureReadWaveforms(t *testing.T) {
 
 func TestCaptureCSVExport(t *testing.T) {
 	c := newTestColumn(t)
-	rec, release := c.Capture(NetBTCell)
+	rec, release, err := c.Capture(NetBTCell)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
 	if err := c.Precharge(); err != nil {
 		t.Fatalf("Precharge: %v", err)
 	}
@@ -55,28 +61,32 @@ func TestCaptureCSVExport(t *testing.T) {
 		t.Errorf("CSV header wrong: %q", buf.String()[:30])
 	}
 	// Release must detach the observer: further ops add no samples.
-	n := rec.Trace(NetBTCell).Len()
+	tr := rec.Trace(NetBTCell)
+	if tr == nil {
+		t.Fatal("recorder lost its captured trace")
+	}
+	n := tr.Len()
 	if err := c.Precharge(); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Trace(NetBTCell).Len() != n {
+	if tr.Len() != n {
 		t.Error("recorder still sampling after release")
 	}
 }
 
 func TestCaptureValidation(t *testing.T) {
 	c := MustNewColumn(Default())
-	for name, fn := range map[string]func(){
-		"no nets":     func() { c.Capture() },
-		"unknown net": func() { c.Capture("nope") },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+	if _, _, err := c.Capture(); err == nil {
+		t.Error("Capture with no nets must error")
+	}
+	_, _, err := c.Capture("nope")
+	if err == nil {
+		t.Error("Capture of an unknown net must error")
+	} else if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("error should name the unknown net: %v", err)
+	}
+	// A failed Capture must not leave a half-installed observer behind.
+	if c.Observe != nil {
+		t.Error("failed Capture installed an Observe hook")
 	}
 }

@@ -117,7 +117,11 @@ func NewColumn(tech Technology) (*Column, error) {
 		return nil, fmt.Errorf("dram: building column netlist: %w", c.buildErr)
 	}
 	c.ckt.Freeze()
-	c.eng = spice.NewEngine(c.ckt, spice.DefaultOptions())
+	eng, err := spice.NewEngine(c.ckt, spice.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("dram: building column engine: %w", err)
+	}
+	c.eng = eng
 	return c, nil
 }
 

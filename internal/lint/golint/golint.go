@@ -15,6 +15,14 @@
 //   - ignored-error: error results from the netlist-construction
 //     packages must not be discarded; a swallowed construction error
 //     means simulating a circuit that was never built.
+//   - nodeindex-check: the existence result of NodeIndex must be
+//     consumed; dropping it turns "net does not exist" into "net is
+//     ground" (index 0 is valid).
+//   - waveform-nil: a Trace lookup must be bound and nil-checked before
+//     use; Trace returns nil for uncaptured or MNA-eliminated nets.
+//   - branch-freeze: a circuit constructed in a function must be frozen
+//     before an engine is built on it; branch indices are provisional
+//     until Freeze.
 //
 // Findings are suppressed by a `//lint:ignore <rule> <reason>` comment
 // on the offending line or the line above it.

@@ -31,6 +31,9 @@ func TestFixtureFindingCounts(t *testing.T) {
 		"ignored-error":      3, // BadDropped, BadBlank, BadTupleBlank
 		"stamp-ground-guard": 4, // BadStamp ×3, ElseIsNotGuarded ×1
 		"bench-hygiene":      3, // BenchmarkBad, BenchmarkHalf, bad-sub
+		"nodeindex-check":    2, // BadNodeIndexDropped, BadNodeIndexBlank
+		"waveform-nil":       2, // BadChainedTrace, BadChainedTraceLen
+		"branch-freeze":      2, // BadUnfrozenEngine, BadFreezeAfterEngine
 	}
 	got := map[string]int{}
 	for _, f := range fs {

@@ -32,12 +32,18 @@ func (c *checker) run() {
 		c.ignoredError(f)
 		c.stampGuard(f)
 		c.benchHygiene(f)
+		c.nodeIndexCheck(f)
+		c.waveformNil(f)
+		c.branchFreeze(f)
 	}
 	for _, f := range c.pkg.testFiles {
 		c.supp = suppressions(f, c.fset)
 		// Test files are not type-checked; only the syntactic rules run.
 		c.stampGuard(f)
 		c.benchHygiene(f)
+		c.nodeIndexCheck(f)
+		c.waveformNil(f)
+		c.branchFreeze(f)
 	}
 }
 
@@ -448,6 +454,163 @@ func (c *checker) benchHygiene(f *ast.File) {
 		}
 		return true
 	})
+}
+
+// ---- nodeindex-check ------------------------------------------------
+
+// nodeIndexCheck flags NodeIndex calls whose existence result is
+// discarded: `idx, _ := ckt.NodeIndex(net)` or a bare call statement.
+// NodeIndex returns (0, false) for unknown nets and 0 is a VALID index —
+// ground — so a dropped second return silently turns "net does not
+// exist" into "net is ground", the exact bug class that motivated the
+// engine's explicit unknown-net panics. Syntactic on the method name, so
+// it covers test files too.
+func (c *checker) nodeIndexCheck(f *ast.File) {
+	isNodeIndexCall := func(e ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NodeIndex" {
+			return nil, false
+		}
+		return call, true
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := isNodeIndexCall(stmt.X); ok {
+				c.add(call.Pos(), "nodeindex-check",
+					"NodeIndex result discarded entirely; the call has no side effects, so this statement does nothing")
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 2 {
+				return true
+			}
+			call, ok := isNodeIndexCall(stmt.Rhs[0])
+			if !ok {
+				return true
+			}
+			if id, ok := stmt.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+				c.add(call.Pos(), "nodeindex-check",
+					"NodeIndex existence result assigned to the blank identifier; an unknown net then reads as index 0 — ground — instead of an error")
+			}
+		}
+		return true
+	})
+}
+
+// ---- waveform-nil ---------------------------------------------------
+
+// waveformNil flags immediate dereference of a Trace lookup:
+// `rec.Trace(name).Last()` and friends. Recorder.Trace returns nil for
+// any net that was not captured — including nets the reduced MNA system
+// eliminated (a grounded or source-pinned net) — so chaining without a
+// nil check is a latent panic. Assign the result and test it first.
+func (c *checker) waveformNil(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "Trace" {
+			return true
+		}
+		c.add(sel.Sel.Pos(), "waveform-nil", fmt.Sprintf(
+			".%s chained directly onto a Trace lookup; Trace returns nil for uncaptured or MNA-eliminated nets — bind the result and nil-check it", sel.Sel.Name))
+		return true
+	})
+}
+
+// ---- branch-freeze --------------------------------------------------
+
+// branchFreeze flags building a simulation engine on a circuit that was
+// constructed in the same function but not frozen first: branch indices
+// handed out by Add are provisional until Freeze, so NewEngine before
+// Freeze stamps voltage sources into stale slots (NewEngine now also
+// rejects this at run time; the rule catches it at lint time, including
+// in code paths tests never execute). A circuit received as a parameter
+// is assumed frozen by the caller.
+func (c *checker) branchFreeze(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		c.branchFreezeFunc(fd.Body)
+	}
+}
+
+func (c *checker) branchFreezeFunc(body *ast.BlockStmt) {
+	// Idents assigned from a zero-argument New() / pkg.New() call — the
+	// circuit constructor shape — mapped to their Freeze position.
+	built := map[string]bool{}
+	frozenAt := map[string]token.Pos{}
+	var flagged []*ast.CallExpr
+
+	isNewCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "New"
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "New"
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				if !isNewCall(rhs) || i >= len(x.Lhs) {
+					continue
+				}
+				if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					built[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Freeze" && len(x.Args) == 0 {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if _, seen := frozenAt[id.Name]; !seen {
+						frozenAt[id.Name] = x.Pos()
+					}
+				}
+				return true
+			}
+			var callee string
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				callee = fun.Name
+			case *ast.SelectorExpr:
+				callee = fun.Sel.Name
+			}
+			if (callee != "NewEngine" && callee != "MustNewEngine") || len(x.Args) == 0 {
+				return true
+			}
+			if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && built[id.Name] {
+				flagged = append(flagged, x)
+			}
+		}
+		return true
+	})
+	for _, call := range flagged {
+		id := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if at, ok := frozenAt[id.Name]; ok && at < call.Pos() {
+			continue
+		}
+		c.add(call.Pos(), "branch-freeze", fmt.Sprintf(
+			"engine built on %s before %s.Freeze(); branch indices are provisional until Freeze, so stamps would land in stale slots", id.Name, id.Name))
+	}
 }
 
 // testingBParam finds a parameter of type *testing.B and returns its

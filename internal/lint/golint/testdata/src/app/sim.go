@@ -1,0 +1,88 @@
+// Fixtures for the nodeindex-check, waveform-nil and branch-freeze
+// rules, one bad construct per function.
+package app
+
+import (
+	"errors"
+
+	"example.com/fix/internal/sim"
+)
+
+var errNoNet = errors.New("no such net")
+
+// BadNodeIndexDropped discards both NodeIndex results outright.
+func BadNodeIndexDropped(c *sim.Circuit) {
+	c.NodeIndex("bt") // want nodeindex-check
+}
+
+// BadNodeIndexBlank throws away the existence bit: an unknown net then
+// reads as index 0 — ground.
+func BadNodeIndexBlank(c *sim.Circuit) int {
+	idx, _ := c.NodeIndex("bt") // want nodeindex-check
+	return idx
+}
+
+// GoodNodeIndex checks the existence bit before trusting the index.
+func GoodNodeIndex(c *sim.Circuit) (int, error) {
+	idx, ok := c.NodeIndex("bt")
+	if !ok {
+		return 0, errNoNet
+	}
+	return idx, nil
+}
+
+// BadChainedTrace dereferences the Trace lookup in place.
+func BadChainedTrace(r *sim.Recorder) float64 {
+	return r.Trace("bt").Last() // want waveform-nil
+}
+
+// BadChainedTraceLen does the same through a different method.
+func BadChainedTraceLen(r *sim.Recorder) int {
+	return r.Trace("bc").Len() // want waveform-nil
+}
+
+// GoodGuardedTrace binds the lookup and nil-checks it first.
+func GoodGuardedTrace(r *sim.Recorder) (float64, bool) {
+	tr := r.Trace("bt")
+	if tr == nil {
+		return 0, false
+	}
+	return tr.Last(), true
+}
+
+// BadUnfrozenEngine builds the engine without ever freezing.
+func BadUnfrozenEngine() *sim.Engine {
+	c := sim.New()
+	c.Node("vdd")
+	return sim.NewEngine(c) // want branch-freeze
+}
+
+// BadFreezeAfterEngine freezes too late: the engine already stamped
+// through provisional branch indices.
+func BadFreezeAfterEngine() *sim.Engine {
+	c := sim.New()
+	e := sim.NewEngine(c) // want branch-freeze
+	c.Freeze()
+	return e
+}
+
+// GoodFrozenEngine follows the required order.
+func GoodFrozenEngine() *sim.Engine {
+	c := sim.New()
+	c.Node("vdd")
+	c.Freeze()
+	return sim.NewEngine(c)
+}
+
+// GoodParameterCircuit receives the circuit already built; the caller
+// is responsible for freezing, so no finding.
+func GoodParameterCircuit(c *sim.Circuit) *sim.Engine {
+	return sim.NewEngine(c)
+}
+
+// SuppressedUnfrozen documents a deliberate pre-Freeze build.
+func SuppressedUnfrozen() *sim.Engine {
+	c := sim.New()
+	//lint:ignore branch-freeze fixture exercising the suppression path
+	return sim.NewEngine(c)
+}

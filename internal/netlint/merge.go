@@ -1,0 +1,457 @@
+package netlint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// This file implements the net-merge analysis: the static prediction of
+// what a short or bridge defect does to the circuit. An open cuts a
+// conduction path; a short or bridge is the dual transform — it adds
+// one, identifying two previously distinct nets into one electrical
+// node. The analysis contracts the circuit graph with a union-find over
+// the defect-site edges and re-runs the phase-aware drive classification
+// on the contracted graph, yielding per defect and per phase:
+//
+//   - which nets become electrically identified (the merged classes),
+//   - whether each class is supply-stuck (the short itself enforces a
+//     rail value and nothing fights it) or contested (two independent
+//     drivers meet in one class — a voltage-divider fight whose outcome
+//     depends on drive strengths, not a float),
+//   - that no floating group appears — the static form of the paper's
+//     Section 2 negative result: "shorts and bridges do not restrict
+//     current flow and do not result in floating voltages".
+//
+// The stuck/contested distinction rests on per-member anchor sets. An
+// anchor is a place where an ideal voltage is imposed on the graph:
+// ground, any net held by a voltage source, and — crucially — each
+// output of an enabled sense-amplifier latch, which acts as an
+// independent driver distinct from the rails that power it. For every
+// member of a merged class the analysis collects the anchors reachable
+// from that member through the phase's conducting graph WITHOUT the
+// merge edges (each member's "own" drive), never traversing through a
+// source or a latch channel: a source edge is where voltage is imposed,
+// not a wire, and an enabled latch is a regenerating driver, not a
+// passive path. Two members with different non-empty anchor sets are
+// two independent drivers shorted together — contested.
+
+// ClassVerdict classifies one merged net class in one phase.
+type ClassVerdict int
+
+const (
+	// VerdictIsolated: no member of the class reaches any anchor — the
+	// class holds state capacitively this phase (e.g. two bridged
+	// storage cells with both word lines low). Benign per phase; the
+	// role-aware float check proves it is driven in its home phases.
+	VerdictIsolated ClassVerdict = iota
+	// VerdictDriven: the class is driven by a single consistent set of
+	// anchors — members that are driven at all agree on where the
+	// voltage comes from. Healthy-equivalent behavior.
+	VerdictDriven
+	// VerdictStuck: every anchor the class reaches is a supply inside
+	// the class itself — the short enforces the rail value and nothing
+	// fights it. The paper's hard stuck-at behavior.
+	VerdictStuck
+	// VerdictContested: two members reach different non-empty anchor
+	// sets — independent drivers merged into a voltage-divider fight.
+	// The resolved voltage depends on relative drive strength.
+	VerdictContested
+)
+
+// String returns the verdict name used in findings and reports.
+func (v ClassVerdict) String() string {
+	switch v {
+	case VerdictIsolated:
+		return "isolated"
+	case VerdictDriven:
+		return "driven"
+	case VerdictStuck:
+		return "stuck"
+	case VerdictContested:
+		return "contested"
+	}
+	return fmt.Sprintf("ClassVerdict(%d)", int(v))
+}
+
+// MergedClass is one equivalence class of nets identified by the merge.
+type MergedClass struct {
+	// Nets are the member net names, ground first then sorted.
+	Nets []string
+	// Name is the canonical display name (circuit.MergeName(Nets)).
+	Name string
+	// Supplies are the members that impose an ideal voltage themselves:
+	// ground or nets held by a voltage source. Two supplies in one
+	// class is a rail-to-rail short — contested in every phase.
+	Supplies []string
+	// Verdicts maps phase name to the class verdict in that phase.
+	Verdicts map[string]ClassVerdict
+	// Anchors maps phase name to the sorted union of anchor identifiers
+	// the class reaches in that phase (diagnostic detail behind the
+	// verdict; latch outputs appear as "latch:<net>").
+	Anchors map[string][]string
+}
+
+// MergePrediction is the full static prediction for one short/bridge.
+type MergePrediction struct {
+	// Elems are the analyzed merge elements (the defect-site resistors).
+	Elems []string
+	// Classes are the merged net classes, sorted by Name.
+	Classes []MergedClass
+	// Phases are the model's phase names in declaration order.
+	Phases []string
+	// Floats is the role-aware floating prediction on the merged graph.
+	// The paper's Section 2 negative result is exactly: all fields
+	// empty — merging nets adds conduction paths and can never cut one.
+	Floats Prediction
+}
+
+// PredictMerges contracts the graph over the named elements' conduction
+// branches (treating them as hard shorts regardless of their present
+// resistance) and classifies every resulting merged class per phase. It
+// errors on unknown elements, elements with no conduction branch to
+// merge over, and models without phases — all analysis-setup bugs, not
+// defect properties.
+func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
+	if len(a.model.Phases) == 0 {
+		return MergePrediction{}, fmt.Errorf("netlint: merge analysis needs a phase model")
+	}
+	merge := map[string]bool{}
+	for _, name := range mergeElems {
+		merge[name] = true
+		if a.ckt.Element(name) == nil {
+			return MergePrediction{}, fmt.Errorf("netlint: merge element %q is not in the circuit", name)
+		}
+	}
+
+	// Union-find contraction over the merge elements' non-sense branches.
+	parent := make([]int, a.nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merged := 0
+	for _, e := range a.edges {
+		if !merge[e.elem] || e.kind == circuit.PathSense {
+			continue
+		}
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+			merged++
+		}
+	}
+	if merged == 0 {
+		return MergePrediction{}, fmt.Errorf("netlint: elements %v have no conduction branch to merge over", mergeElems)
+	}
+	classNodes := map[int][]int{}
+	for n := 0; n < a.nodes; n++ {
+		classNodes[find(n)] = append(classNodes[find(n)], n)
+	}
+
+	pred := MergePrediction{Elems: append([]string(nil), mergeElems...)}
+	for _, p := range a.model.Phases {
+		pred.Phases = append(pred.Phases, p.Name)
+	}
+	supply := a.supplyNodes()
+	for _, members := range classNodes {
+		if len(members) < 2 {
+			continue
+		}
+		mc := MergedClass{
+			Verdicts: map[string]ClassVerdict{},
+			Anchors:  map[string][]string{},
+		}
+		for _, n := range members {
+			mc.Nets = append(mc.Nets, a.ckt.NodeName(n))
+			if supply[n] {
+				mc.Supplies = append(mc.Supplies, a.ckt.NodeName(n))
+			}
+		}
+		mc.Name = circuit.MergeName(mc.Nets)
+		mc.Nets = splitMergeName(mc.Name)
+		sort.Strings(mc.Supplies)
+		for _, p := range a.model.Phases {
+			verdict, anchors := a.classVerdict(p, members, merge, supply)
+			mc.Verdicts[p.Name] = verdict
+			mc.Anchors[p.Name] = anchors
+		}
+		pred.Classes = append(pred.Classes, mc)
+	}
+	sort.Slice(pred.Classes, func(i, j int) bool { return pred.Classes[i].Name < pred.Classes[j].Name })
+
+	// The no-float proof: re-run the role-aware floating prediction with
+	// the merge edges conducting. Merging only ever adds paths, so any
+	// non-empty result means the model itself is inconsistent.
+	pred.Floats = a.predictFloats(nil, merge)
+	return pred, nil
+}
+
+// supplyNodes marks every node that imposes an ideal voltage on the
+// graph: ground plus each node incident to a voltage-source branch.
+func (a *Analyzer) supplyNodes() []bool {
+	supply := make([]bool, a.nodes)
+	supply[0] = true
+	for _, e := range a.edges {
+		if e.kind != circuit.PathSource {
+			continue
+		}
+		supply[e.a] = true
+		supply[e.b] = true
+	}
+	return supply
+}
+
+// classVerdict classifies one merged class in one phase from the
+// members' individual anchor sets, computed on the graph WITHOUT the
+// merge edges so each member's own drive is visible. Latch enablement is
+// resolved on the merged graph (the defect is present; a short can even
+// help a latch's rails connect), but latch channels are never traversed
+// — an enabled latch contributes its outputs as distinct anchors
+// instead, because a regenerating pair is a driver, not a wire.
+func (a *Analyzer) classVerdict(p Phase, members []int, merge map[string]bool, supply []bool) (ClassVerdict, []string) {
+	levels := a.levelsFor(p, nil)
+	_, latchOn := a.drivenWith(p, nil, nil, merge)
+
+	latchElem := map[string]bool{}
+	for _, l := range a.model.Latches {
+		for _, name := range l.Elements {
+			latchElem[name] = true
+		}
+	}
+
+	// Anchor identifiers per node: ground, source-held nets (their own
+	// name), and enabled-latch outputs ("latch:<net>").
+	anchors := make(map[int][]string)
+	anchors[0] = []string{circuit.Ground}
+	for _, e := range a.edges {
+		if e.kind != circuit.PathSource {
+			continue
+		}
+		for _, n := range []int{e.a, e.b} {
+			if n != 0 {
+				anchors[n] = append(anchors[n], a.ckt.NodeName(n))
+			}
+		}
+	}
+	for _, l := range a.model.Latches {
+		if !l.activeIn(p.Name) || !a.latchEnabled(l, latchOn) {
+			continue
+		}
+		rail := map[int]bool{}
+		for _, pair := range l.Requires {
+			for _, net := range pair[:] {
+				if idx, ok := a.ckt.NodeIndex(net); ok {
+					rail[idx] = true
+				}
+			}
+		}
+		elems := map[string]bool{}
+		for _, name := range l.Elements {
+			elems[name] = true
+		}
+		for _, e := range a.edges {
+			if !elems[e.elem] || e.kind != circuit.PathGated {
+				continue
+			}
+			for _, n := range []int{e.a, e.b} {
+				if n != 0 && !rail[n] {
+					anchors[n] = append(anchors[n], "latch:"+a.ckt.NodeName(n))
+				}
+			}
+		}
+	}
+
+	// The per-member traversal graph: passive conduction only. No merge
+	// edges (each member on its own), no source edges (voltage is
+	// imposed there, not conducted through), no latch channels (drivers,
+	// represented by their anchors).
+	keep := func(e edge) bool {
+		if merge[e.elem] || latchElem[e.elem] {
+			return false
+		}
+		switch e.kind {
+		case circuit.PathConductive:
+			return !a.cutOff(e)
+		case circuit.PathGated:
+			if latchOn[e.elem] {
+				return true
+			}
+			lvl, ok := levels[e.gate]
+			return ok && lvl == e.activeHigh
+		}
+		return false
+	}
+
+	sets := make([]map[string]bool, len(members))
+	for i, m := range members {
+		set := map[string]bool{}
+		reached := a.reach([]int{m}, keep)
+		for n := 0; n < a.nodes; n++ {
+			if reached[n] {
+				for _, id := range anchors[n] {
+					set[id] = true
+				}
+			}
+		}
+		sets[i] = set
+	}
+
+	union := map[string]bool{}
+	for _, s := range sets {
+		for id := range s {
+			union[id] = true
+		}
+	}
+	var all []string
+	for id := range union {
+		all = append(all, id)
+	}
+	sort.Strings(all)
+
+	verdict := VerdictIsolated
+	switch {
+	case len(union) == 0:
+		verdict = VerdictIsolated
+	case contestedSets(sets):
+		verdict = VerdictContested
+	case subsetOfClassSupplies(all, members, supply, a):
+		verdict = VerdictStuck
+	default:
+		verdict = VerdictDriven
+	}
+	return verdict, all
+}
+
+// contestedSets reports whether two members carry different non-empty
+// anchor sets — two independent drivers merged together.
+func contestedSets(sets []map[string]bool) bool {
+	var ref map[string]bool
+	for _, s := range sets {
+		if len(s) == 0 {
+			continue
+		}
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if !equalSets(ref, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOfClassSupplies reports whether every anchor id belongs to a
+// supply net that is itself a member of the class — i.e. the only drive
+// the class sees is the rail the short connected it to.
+func subsetOfClassSupplies(anchorIDs []string, members []int, supply []bool, a *Analyzer) bool {
+	inClass := map[string]bool{}
+	for _, n := range members {
+		if supply[n] {
+			inClass[a.ckt.NodeName(n)] = true
+		}
+	}
+	for _, id := range anchorIDs {
+		if !inClass[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitMergeName recovers the member list from a canonical class name.
+func splitMergeName(name string) []string {
+	if name == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '=' {
+			out = append(out, name[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// CheckMerges runs the merge analysis for one defect's elements and
+// renders the outcome as findings:
+//
+//   - merge-supply-pair (error): a class contains two supply nets — a
+//     rail-to-rail short fighting in every phase. Unconditionally a
+//     netlist/defect-catalog red flag.
+//   - merge-float (error): the merged graph shows a floating group.
+//     Impossible for a pure merge; means the model is inconsistent.
+//   - merge-class (info): one finding per class summarizing the
+//     per-phase verdicts, so reports show what the defect does.
+//
+// Analysis-setup failures (unknown element, no phases) are reported as
+// merge-analysis errors rather than returned, so CheckMerges composes
+// with lint drivers that aggregate findings.
+func (a *Analyzer) CheckMerges(mergeElems []string) lint.Findings {
+	pred, err := a.PredictMerges(mergeElems)
+	if err != nil {
+		return lint.Findings{{
+			Layer: "netlist", Rule: "merge-analysis", Severity: lint.Error,
+			Subject: fmt.Sprintf("%v", mergeElems), Message: err.Error(),
+		}}
+	}
+	return pred.Findings()
+}
+
+// Findings renders the prediction as lint findings (the body of
+// CheckMerges, exposed so callers that already hold a prediction — e.g.
+// the analysis layer's catalog cross-check — need not re-run it).
+func (p MergePrediction) Findings() lint.Findings {
+	var out lint.Findings
+	for _, mc := range p.Classes {
+		if len(mc.Supplies) >= 2 {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "merge-supply-pair", Severity: lint.Error,
+				Subject: mc.Name,
+				Message: fmt.Sprintf("defect merges supply nets %v into one class: a rail-to-rail short contested in every phase", mc.Supplies),
+			})
+		}
+		var perPhase []string
+		for _, phase := range p.Phases {
+			perPhase = append(perPhase, fmt.Sprintf("%s:%s", phase, mc.Verdicts[phase]))
+		}
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "merge-class", Severity: lint.Info,
+			Subject: mc.Name,
+			Message: fmt.Sprintf("nets %v become one electrical node; per-phase: %v", mc.Nets, perPhase),
+		})
+	}
+	if len(p.Floats.Primary) > 0 || len(p.Floats.Secondary) > 0 {
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "merge-float", Severity: lint.Error,
+			Subject: fmt.Sprintf("%v", p.Elems),
+			Message: fmt.Sprintf("merged graph predicts floating nets (primary %v, secondary %v); a merge can only add conduction paths, so the phase model is inconsistent", p.Floats.Primary, p.Floats.Secondary),
+		})
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,226 @@
+package netlint_test
+
+// External test package: these tests exercise the merge prover against
+// the real DRAM column, and dram itself imports netlint for its phase
+// model, so an internal test file would create an import cycle.
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
+
+func columnAnalyzer(t *testing.T) *netlint.Analyzer {
+	t.Helper()
+	col, err := dram.NewColumn(dram.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netlint.New(col.Circuit(), dram.LintModel())
+}
+
+// TestPredictMergesCatalog pins the full per-phase verdict table for the
+// four catalog shorts/bridges, derived from the column's operation: the
+// cell-to-ground short is hard-stuck whenever the victim cell is not
+// accessed and contested (short vs. sense amplifier) when it is; the
+// bit-line-to-VDD short is contested in every phase because the bit line
+// always has a driver of its own; the bit-line bridge is benign only in
+// precharge (both lines share the equalize level anyway) and contested
+// once the latch drives the lines apart; and the cell-to-cell bridge is
+// never contested — at most one of the two word lines is up per phase,
+// so the pair acts as one cell with doubled capacitance. In all four
+// cases the prover must find zero floating groups: the static form of
+// the paper's Section 2 exclusion of shorts and bridges from
+// partial-fault analysis.
+func TestPredictMergesCatalog(t *testing.T) {
+	az := columnAnalyzer(t)
+	want := map[string]struct {
+		class    string
+		supplies []string
+		verdicts map[string]netlint.ClassVerdict
+	}{
+		dram.SiteShortCellGnd: {
+			class:    "0=c0s",
+			supplies: []string{"0"},
+			verdicts: map[string]netlint.ClassVerdict{
+				"precharge": netlint.VerdictStuck,
+				"sense0":    netlint.VerdictContested,
+				"sense1":    netlint.VerdictStuck,
+				"write0":    netlint.VerdictContested,
+				"write1":    netlint.VerdictStuck,
+				"readout":   netlint.VerdictContested,
+			},
+		},
+		dram.SiteShortBLVdd: {
+			class:    "btC=vddn",
+			supplies: []string{"vddn"},
+			verdicts: map[string]netlint.ClassVerdict{
+				"precharge": netlint.VerdictContested,
+				"sense0":    netlint.VerdictContested,
+				"sense1":    netlint.VerdictContested,
+				"write0":    netlint.VerdictContested,
+				"write1":    netlint.VerdictContested,
+				"readout":   netlint.VerdictContested,
+			},
+		},
+		dram.SiteBridgeBLBL: {
+			class:    "bcC=btC",
+			supplies: nil,
+			verdicts: map[string]netlint.ClassVerdict{
+				"precharge": netlint.VerdictDriven,
+				"sense0":    netlint.VerdictContested,
+				"sense1":    netlint.VerdictContested,
+				"write0":    netlint.VerdictContested,
+				"write1":    netlint.VerdictContested,
+				"readout":   netlint.VerdictContested,
+			},
+		},
+		dram.SiteBridgeCells: {
+			class:    "c0s=c1s",
+			supplies: nil,
+			verdicts: map[string]netlint.ClassVerdict{
+				"precharge": netlint.VerdictIsolated,
+				"sense0":    netlint.VerdictDriven,
+				"sense1":    netlint.VerdictDriven,
+				"write0":    netlint.VerdictDriven,
+				"write1":    netlint.VerdictDriven,
+				"readout":   netlint.VerdictDriven,
+			},
+		},
+	}
+	for _, sb := range defect.ShortsAndBridges() {
+		sb := sb
+		t.Run(sb.Site, func(t *testing.T) {
+			exp, ok := want[sb.Site]
+			if !ok {
+				t.Fatalf("catalog entry %q has no pinned expectation; extend this test", sb.Site)
+			}
+			pred, err := az.PredictMerges([]string{dram.SiteElementName(sb.Site)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pred.Classes) != 1 {
+				t.Fatalf("got %d merged classes, want exactly 1: %+v", len(pred.Classes), pred.Classes)
+			}
+			mc := pred.Classes[0]
+			if mc.Name != exp.class {
+				t.Errorf("class = %q, want %q", mc.Name, exp.class)
+			}
+			if wantName := circuit.MergeName(sb.Merges[:]); mc.Name != wantName {
+				t.Errorf("class %q does not match the catalog's declared merge %v", mc.Name, sb.Merges)
+			}
+			if len(mc.Supplies) != len(exp.supplies) {
+				t.Errorf("supplies = %v, want %v", mc.Supplies, exp.supplies)
+			} else {
+				for i := range exp.supplies {
+					if mc.Supplies[i] != exp.supplies[i] {
+						t.Errorf("supplies = %v, want %v", mc.Supplies, exp.supplies)
+						break
+					}
+				}
+			}
+			if len(pred.Phases) != len(exp.verdicts) {
+				t.Fatalf("phases = %v, want %d phases", pred.Phases, len(exp.verdicts))
+			}
+			for _, phase := range pred.Phases {
+				if got := mc.Verdicts[phase]; got != exp.verdicts[phase] {
+					t.Errorf("%s: verdict = %s, want %s (anchors %v)", phase, got, exp.verdicts[phase], mc.Anchors[phase])
+				}
+			}
+			// The negative result, proven statically: no floating group.
+			if len(pred.Floats.Primary)+len(pred.Floats.Secondary)+len(pred.Floats.Unknown) != 0 {
+				t.Errorf("merged graph predicts floats %+v; shorts/bridges must not create floating voltages", pred.Floats)
+			}
+		})
+	}
+}
+
+// A bridged cell pair must never be contested: the two cells are never
+// simultaneously selected, so both word lines up would be the only way
+// to get two drivers. This is the property that makes the cell bridge a
+// coupling fault rather than a drive fight.
+func TestBridgedCellsNeverContested(t *testing.T) {
+	az := columnAnalyzer(t)
+	pred, err := az.PredictMerges([]string{dram.SiteElementName(dram.SiteBridgeCells)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for phase, v := range pred.Classes[0].Verdicts {
+		if v == netlint.VerdictContested || v == netlint.VerdictStuck {
+			t.Errorf("%s: bridged cells %s; want only isolated/driven", phase, v)
+		}
+	}
+}
+
+func TestPredictMergesErrors(t *testing.T) {
+	az := columnAnalyzer(t)
+	if _, err := az.PredictMerges([]string{"R_no_such_element"}); err == nil {
+		t.Error("unknown merge element must be an error")
+	}
+
+	ckt := circuit.New()
+	a := ckt.Node("a")
+	b := ckt.Node("b")
+	ckt.MustAdd(device.NewVSource("V1", a, 0, device.DC(1)))
+	ckt.MustAdd(device.NewResistor("R1", a, b, 1e3))
+	ckt.Freeze()
+	bare := netlint.New(ckt, netlint.Model{})
+	if _, err := bare.PredictMerges([]string{"R1"}); err == nil {
+		t.Error("merge analysis without a phase model must be an error")
+	}
+}
+
+// A defect that merges two supply rails is contested in every phase and
+// must raise the merge-supply-pair error — the seeded case pflint's
+// selftest exercises.
+func TestCheckMergesSupplyPair(t *testing.T) {
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	vpp := ckt.Node("vpp")
+	out := ckt.Node("out")
+	ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(1.8)))
+	ckt.MustAdd(device.NewVSource("V2", vpp, 0, device.DC(3.3)))
+	ckt.MustAdd(device.NewResistor("R_load", vdd, out, 1e3))
+	ckt.MustAdd(device.NewResistor("R_gnd", out, 0, 1e3))
+	ckt.MustAdd(device.NewResistor("R_short", vdd, vpp, 10))
+	ckt.Freeze()
+	az := netlint.New(ckt, netlint.Model{
+		Phases: []netlint.Phase{{Name: "on"}},
+		Roles:  map[string][]string{"out": {"on"}},
+	})
+	fs := az.CheckMerges([]string{"R_short"})
+	if n := len(fs.ByRule("merge-supply-pair")); n != 1 {
+		t.Fatalf("merge-supply-pair findings = %d, want 1: %v", n, fs)
+	}
+	if fs.Count(lint.Error) == 0 {
+		t.Error("supply-pair merge must be an error-severity finding")
+	}
+	pred, err := az.PredictMerges([]string{"R_short"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pred.Classes[0].Verdicts["on"]; v != netlint.VerdictContested {
+		t.Errorf("rail-to-rail short verdict = %s, want contested", v)
+	}
+}
+
+// CheckMerges on the real catalog must stay clean of errors: both repo
+// shorts have exactly one supply in the class (stuck or divider against
+// a driver, reported as info), and the bridges have none.
+func TestCheckMergesCatalogClean(t *testing.T) {
+	az := columnAnalyzer(t)
+	for _, sb := range defect.ShortsAndBridges() {
+		fs := az.CheckMerges([]string{dram.SiteElementName(sb.Site)})
+		if n := fs.Count(lint.Error); n != 0 {
+			t.Errorf("%s: %d error findings: %v", sb.Site, n, fs)
+		}
+		if len(fs.ByRule("merge-class")) == 0 {
+			t.Errorf("%s: no merge-class info finding", sb.Site)
+		}
+	}
+}

@@ -23,6 +23,11 @@ type Prediction struct {
 	// (e.g. the paper's Open 9: the word line floats, so the access
 	// transistor never opens and the cell is cut off indirectly).
 	Secondary []string
+	// Unknown lists role nets the model names but the circuit does not
+	// have. VerifyModel reports them as errors; they are surfaced here
+	// too so a caller that skips verification cannot mistake "net not
+	// found" for "net not floating".
+	Unknown []string
 }
 
 // levelsFor resolves the phase's control-net levels onto node indices and
@@ -68,9 +73,22 @@ func (a *Analyzer) levelsFor(p Phase, cut map[string]bool) map[int]bool {
 // conducting graph iff their rail requirements hold, iterated to a
 // fixpoint because one latch turning on can connect another's rails.
 func (a *Analyzer) driven(p Phase, cut, gateCut map[string]bool) []bool {
+	seen, _ := a.drivenWith(p, cut, gateCut, nil)
+	return seen
+}
+
+// drivenWith is driven with an additional merge set: elements whose
+// conduction branches are treated as hard shorts regardless of gate
+// state or resistance — the graph form of a short/bridge defect. It
+// also returns the latch-enablement fixpoint, which the merge analysis
+// needs to tell regenerating drivers from passive wires.
+func (a *Analyzer) drivenWith(p Phase, cut, gateCut, merge map[string]bool) ([]bool, map[string]bool) {
 	levels := a.levelsFor(p, gateCut)
 	latchOn := map[string]bool{}
 	conducts := func(e edge) bool {
+		if merge[e.elem] {
+			return e.kind != circuit.PathSense
+		}
 		if cut[e.elem] {
 			return false
 		}
@@ -112,7 +130,7 @@ func (a *Analyzer) driven(p Phase, cut, gateCut map[string]bool) []bool {
 			}
 		}
 		if !changed {
-			return seen
+			return seen, latchOn
 		}
 	}
 }
@@ -160,6 +178,14 @@ func (a *Analyzer) PredictFloats(cutElems []string) Prediction {
 	for _, name := range cutElems {
 		cut[name] = true
 	}
+	return a.predictFloats(cut, nil)
+}
+
+// predictFloats is the shared core of the open (cut) and short/bridge
+// (merge) predictions: the same role-aware drive analysis, run on a
+// graph with the cut elements removed and the merge elements hard-
+// conducting.
+func (a *Analyzer) predictFloats(cut, merge map[string]bool) Prediction {
 	phases := map[string]Phase{}
 	for _, p := range a.model.Phases {
 		phases[p.Name] = p
@@ -168,15 +194,19 @@ func (a *Analyzer) PredictFloats(cutElems []string) Prediction {
 	drivenIn := map[string][]bool{} // phase → healthy-gate driven set under cut
 	drivenActual := map[string][]bool{}
 	for name, p := range phases {
-		drivenIn[name] = a.driven(p, cut, nil)
-		drivenActual[name] = a.driven(p, cut, cut)
+		drivenIn[name], _ = a.drivenWith(p, cut, nil, merge)
+		drivenActual[name], _ = a.drivenWith(p, cut, cut, merge)
 	}
 
 	var pred Prediction
 	for net, roles := range a.model.Roles {
 		idx, ok := a.ckt.NodeIndex(net)
 		if !ok {
-			continue // reported by VerifyModel
+			// Also reported as a model-unknown-net error by VerifyModel;
+			// named here so skipping verification cannot silently turn a
+			// missing net into a "does not float" verdict.
+			pred.Unknown = append(pred.Unknown, net)
+			continue
 		}
 		lostPrimary, lostActual := true, true
 		for _, phase := range roles {
@@ -196,6 +226,7 @@ func (a *Analyzer) PredictFloats(cutElems []string) Prediction {
 	}
 	sort.Strings(pred.Primary)
 	sort.Strings(pred.Secondary)
+	sort.Strings(pred.Unknown)
 	return pred
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/netlint"
 )
 
 // ffmGlyphs maps FFMs to single-character map glyphs.
@@ -159,6 +160,43 @@ func WriteCoverage(w io.Writer, results []march.CoverageResult, tests []string) 
 		}
 	}
 	return nil
+}
+
+// WriteMergePrediction renders the net-merge prover's verdict table:
+// one block per merged class with its supplies and per-phase verdicts,
+// then the floating prediction on the contracted graph. For shorts and
+// bridges the float lines read "(none)" — the static form of the
+// paper's Section 2 negative result.
+func WriteMergePrediction(w io.Writer, p netlint.MergePrediction) error {
+	if _, err := fmt.Fprintf(w, "merging element(s): %s\n", strings.Join(p.Elems, ", ")); err != nil {
+		return err
+	}
+	for _, mc := range p.Classes {
+		if _, err := fmt.Fprintf(w, "class %s (supplies: %s)\n", mc.Name, joinOrNone(mc.Supplies)); err != nil {
+			return err
+		}
+		for _, ph := range p.Phases {
+			if _, err := fmt.Fprintf(w, "  %-10s %-10s anchors: %s\n",
+				ph, mc.Verdicts[ph], joinOrNone(mc.Anchors[ph])); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "primary floats:   %s\n", joinOrNone(p.Floats.Primary)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "secondary floats: %s\n", joinOrNone(p.Floats.Secondary)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "unknown-role floats: %s\n", joinOrNone(p.Floats.Unknown))
+	return err
+}
+
+func joinOrNone(ss []string) string {
+	if len(ss) == 0 {
+		return "(none)"
+	}
+	return strings.Join(ss, ", ")
 }
 
 // WriteFindings renders static-analysis findings grouped by layer, one

@@ -132,12 +132,18 @@ type Engine struct {
 	bypasses       uint64
 }
 
-// NewEngine creates an engine for the circuit, which must already be
-// frozen (circuit.Freeze).
-func NewEngine(ckt *circuit.Circuit, opts Options) *Engine {
+// NewEngine creates an engine for the circuit. The circuit must already
+// be frozen (circuit.Freeze): before Freeze the branch-current indices
+// handed out by Add are provisional, and stamping through them would
+// silently alias node unknowns. An unfrozen or empty circuit is a
+// construction-order bug in the caller, reported as an error.
+func NewEngine(ckt *circuit.Circuit, opts Options) (*Engine, error) {
+	if !ckt.Frozen() {
+		return nil, fmt.Errorf("spice: circuit not frozen: branch indices are provisional until circuit.Freeze is called")
+	}
 	n := ckt.Size()
 	if n == 0 {
-		panic("spice: empty circuit")
+		return nil, fmt.Errorf("spice: empty circuit")
 	}
 	e := &Engine{
 		ckt:     ckt,
@@ -163,6 +169,16 @@ func NewEngine(ckt *circuit.Circuit, opts Options) *Engine {
 		if len(e.pinned) > 0 {
 			e.cStat = numeric.NewMatrix(nf, len(e.pinned))
 		}
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine for circuits known frozen by construction;
+// it panics on error. Intended for tests and examples.
+func MustNewEngine(ckt *circuit.Circuit, opts Options) *Engine {
+	e, err := NewEngine(ckt, opts)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }

@@ -21,7 +21,7 @@ func buildDivider() (*circuit.Circuit, string) {
 
 func TestOperatingPointDivider(t *testing.T) {
 	ckt, mid := buildDivider()
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.OperatingPoint(); err != nil {
 		t.Fatalf("OperatingPoint: %v", err)
 	}
@@ -46,7 +46,7 @@ func TestTransientRCCharge(t *testing.T) {
 	ckt.Add(device.NewCapacitor("C1", out, 0, c))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	// Start with the cap discharged (skip OP, which would charge it).
 	tau := r * c
 	if err := e.Run(tau, 400, nil); err != nil {
@@ -73,7 +73,7 @@ func TestTransientRCDischargeFromSetVoltage(t *testing.T) {
 	ckt.Add(device.NewCapacitor("C1", out, 0, c))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	e.SetNodeVoltage("out", 2.0)
 	tau := r * c
 	if err := e.Run(2*tau, 800, nil); err != nil {
@@ -95,7 +95,7 @@ func TestFloatingNodeHoldsVoltage(t *testing.T) {
 	ckt.Add(device.NewCapacitor("C1", fl, 0, 250e-15))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	e.SetNodeVoltage("float", 1.7)
 	if err := e.Run(100e-9, 100, nil); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -113,7 +113,7 @@ func TestPWLSourceTransient(t *testing.T) {
 	ckt.Add(device.NewResistor("Rload", in, 0, 1e6))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.Run(5e-9, 50, nil); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestNMOSInverterTransfer(t *testing.T) {
 		p.W = 10e-6
 		ckt.Add(device.NewNMOS("M1", out, in, 0, p))
 		ckt.Freeze()
-		return NewEngine(ckt, DefaultOptions())
+		return MustNewEngine(ckt, DefaultOptions())
 	}
 
 	eLow := build(0)
@@ -171,7 +171,7 @@ func TestPMOSPullUp(t *testing.T) {
 	ckt.Add(device.NewResistor("RL", out, 0, 10e3))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.OperatingPoint(); err != nil {
 		t.Fatalf("OP: %v", err)
 	}
@@ -194,7 +194,7 @@ func TestMOSPassTransistorChargesCap(t *testing.T) {
 	ckt.Add(device.NewCapacitor("Ccell", cell, 0, 30e-15))
 	ckt.Freeze()
 
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.Run(10e-9, 200, nil); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -214,7 +214,7 @@ func TestSwitchConnectsAndIsolates(t *testing.T) {
 		ckt.Add(device.NewSwitch("S1", vdd, out, c, 0, 1.65, 100, 1e12))
 		ckt.Add(device.NewResistor("RL", out, 0, 10e3))
 		ckt.Freeze()
-		return NewEngine(ckt, DefaultOptions())
+		return MustNewEngine(ckt, DefaultOptions())
 	}
 	on := build(3.3)
 	if err := on.OperatingPoint(); err != nil {
@@ -234,7 +234,7 @@ func TestSwitchConnectsAndIsolates(t *testing.T) {
 
 func TestEngineStepPanicsOnBadDt(t *testing.T) {
 	ckt, _ := buildDivider()
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	defer func() {
 		if recover() == nil {
 			t.Error("Step(0) should panic")
@@ -245,11 +245,46 @@ func TestEngineStepPanicsOnBadDt(t *testing.T) {
 
 func TestVoltageUnknownNetPanics(t *testing.T) {
 	ckt, _ := buildDivider()
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	defer func() {
 		if recover() == nil {
 			t.Error("Voltage(unknown) should panic")
 		}
 	}()
 	e.Voltage("nope")
+}
+
+// TestNewEngineRejectsUnfrozenCircuit reproduces the stale-branch-index
+// misuse the Frozen guard exists for: building an engine before
+// circuit.Freeze would stamp voltage sources through provisional branch
+// indices that alias node unknowns once more nets are added. The guard
+// turns that silent corruption into a construction-order error.
+func TestNewEngineRejectsUnfrozenCircuit(t *testing.T) {
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(3.3)))
+	ckt.Node("late") // added after V1: V1's provisional branch index is now stale
+	//lint:ignore branch-freeze this test exists to exercise the run-time guard the rule mirrors
+	if _, err := NewEngine(ckt, DefaultOptions()); err == nil {
+		t.Fatal("NewEngine must reject an unfrozen circuit")
+	}
+	ckt.Freeze()
+	e, err := NewEngine(ckt, DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewEngine after Freeze: %v", err)
+	}
+	if err := e.OperatingPoint(); err != nil {
+		t.Fatalf("OperatingPoint: %v", err)
+	}
+	if got := e.Voltage("vdd"); math.Abs(got-3.3) > 1e-9 {
+		t.Errorf("vdd = %gV, want 3.3V", got)
+	}
+}
+
+func TestNewEngineRejectsEmptyCircuit(t *testing.T) {
+	ckt := circuit.New()
+	ckt.Freeze()
+	if _, err := NewEngine(ckt, DefaultOptions()); err == nil {
+		t.Fatal("NewEngine must reject an empty circuit")
+	}
 }

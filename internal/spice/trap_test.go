@@ -22,7 +22,7 @@ func rcError(trapezoidal bool, steps int) float64 {
 
 	opts := DefaultOptions()
 	opts.Trapezoidal = trapezoidal
-	e := NewEngine(ckt, opts)
+	e := MustNewEngine(ckt, opts)
 	tau := r * c
 	if err := e.Run(tau, steps, nil); err != nil {
 		panic(err)
@@ -64,7 +64,7 @@ func TestTrapezoidalFloatingNodeAfterForce(t *testing.T) {
 	ckt.Freeze()
 	opts := DefaultOptions()
 	opts.Trapezoidal = true
-	e := NewEngine(ckt, opts)
+	e := MustNewEngine(ckt, opts)
 	if err := e.Run(10e-9, 20, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestISourceChargesCapacitorLinearly(t *testing.T) {
 	ckt.Add(device.NewISource("I1", 0, out, device.DC(1e-6))) // 1 µA into out
 	ckt.Add(device.NewCapacitor("C1", out, 0, 1e-12))
 	ckt.Freeze()
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.Run(1e-6, 100, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestISourceIntoResistor(t *testing.T) {
 	ckt.Add(device.NewISource("I1", 0, out, device.DC(1e-3)))
 	ckt.Add(device.NewResistor("R1", out, 0, 1e3))
 	ckt.Freeze()
-	e := NewEngine(ckt, DefaultOptions())
+	e := MustNewEngine(ckt, DefaultOptions())
 	if err := e.OperatingPoint(); err != nil {
 		t.Fatal(err)
 	}

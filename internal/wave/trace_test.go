@@ -84,7 +84,11 @@ func TestRecorderSampleAndCSV(t *testing.T) {
 	r := NewRecorder("bt", "bc")
 	r.Sample(0, 1.65, 1.65)
 	r.Sample(1e-9, 3.3, 0)
-	if got := r.Trace("bt").Last(); got != 3.3 {
+	bt := r.Trace("bt")
+	if bt == nil {
+		t.Fatal("recorder lost its bt trace")
+	}
+	if got := bt.Last(); got != 3.3 {
 		t.Errorf("bt last = %g, want 3.3", got)
 	}
 	var buf bytes.Buffer
