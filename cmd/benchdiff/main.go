@@ -3,15 +3,21 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-force] OLD.json NEW.json
+//	benchdiff [-threshold 0.15] [-history 'bench/BENCH_*.json'] [-force] OLD.json NEW.json
 //
 // The wall-clock comparison only makes sense on like hardware, so the
 // snapshots' host fields (GOOS, GOARCH, CPU count) must match; -force
 // compares anyway (deltas across machines are informational only, and
 // the exit code then ignores timing regressions).
 //
-// Exit codes: 0 no regression, 1 a benchmark slowed beyond the
-// threshold, 2 usage/IO error or host mismatch without -force.
+// -history points at accumulated snapshots from the same host. A
+// benchmark with at least three history samples gets its own noise
+// band, 3σ/µ of its observed ns/op (floored at 2%), in place of the
+// flat -threshold ratio — quiet benchmarks tighten, noisy ones widen.
+// Benchmarks with fewer samples keep the flat ratio.
+//
+// Exit codes: 0 no regression, 1 a benchmark slowed beyond its noise
+// band, 2 usage/IO error or host mismatch without -force.
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -46,8 +54,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	threshold := fs.Float64("threshold", 0.15, "relative slowdown tolerated as noise (0.15 = +15%)")
+	threshold := fs.Float64("threshold", 0.15, "relative slowdown tolerated as noise (0.15 = +15%); per-benchmark fallback when -history has too few samples")
 	force := fs.Bool("force", false, "compare snapshots from different hosts (informational; timing regressions do not fail)")
+	historyGlob := fs.String("history", "", "glob of accumulated same-host snapshots; ≥3 samples per benchmark derive its own noise band (3σ/µ) instead of the flat ratio")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,6 +82,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !*force {
 			return 2
 		}
+	}
+
+	bands := map[string]float64{}
+	if *historyGlob != "" {
+		history, err := loadHistory(*historyGlob, newSnap)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		bands = noiseBands(history)
+		fmt.Fprintf(stdout, "noise bands from %d same-host history snapshots (%d benchmarks banded)\n",
+			len(history), len(bands))
 	}
 
 	names := map[string]bool{}
@@ -105,9 +126,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if o.NsPerOp > 0 {
 			delta = nw.NsPerOp/o.NsPerOp - 1
 		}
+		band, banded := bands[n]
+		if !banded {
+			band = *threshold
+		}
 		mark := ""
-		if delta > *threshold {
+		if delta > band {
 			mark = "  REGRESSION"
+			if banded {
+				mark = fmt.Sprintf("  REGRESSION (band ±%.1f%%)", band*100)
+			}
 			if sameHost {
 				regressed = true
 			}
@@ -124,11 +152,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if regressed {
-		fmt.Fprintf(stdout, "FAIL: at least one benchmark slowed more than %.0f%%\n", *threshold*100)
+		fmt.Fprintln(stdout, "FAIL: at least one benchmark slowed beyond its noise band")
 		return 1
 	}
 	fmt.Fprintln(stdout, "ok: no regression beyond the noise band")
 	return 0
+}
+
+// minBand is the tightest per-benchmark noise band history can derive:
+// below 2% the comparison chases scheduler jitter even on a benchmark
+// whose samples happen to agree closely.
+const minBand = 0.02
+
+// loadHistory loads every snapshot matching the glob and keeps those
+// from the same host as ref. Unreadable or non-snapshot files are
+// errors — a half-read history would silently skew the bands.
+func loadHistory(glob string, ref snapshot) ([]snapshot, error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("bad -history glob: %w", err)
+	}
+	var out []snapshot
+	for _, p := range paths {
+		s, err := load(p)
+		if err != nil {
+			return nil, err
+		}
+		if s.GOOS == ref.GOOS && s.GOARCH == ref.GOARCH && s.NumCPU == ref.NumCPU {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// noiseBands derives a per-benchmark relative noise band from history:
+// for every benchmark with at least three samples, 3·σ/µ of its
+// observed ns/op (sample standard deviation), floored at minBand.
+// Benchmarks with fewer samples get no entry — callers fall back to
+// the flat threshold.
+func noiseBands(history []snapshot) map[string]float64 {
+	samples := map[string][]float64{}
+	for _, s := range history {
+		for n, r := range s.Results {
+			if r.NsPerOp > 0 {
+				samples[n] = append(samples[n], r.NsPerOp)
+			}
+		}
+	}
+	bands := map[string]float64{}
+	for n, xs := range samples {
+		if len(xs) < 3 {
+			continue
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		if mean <= 0 {
+			continue
+		}
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(len(xs) - 1)
+		band := 3 * math.Sqrt(variance) / mean
+		if band < minBand {
+			band = minBand
+		}
+		bands[n] = band
+	}
+	return bands
 }
 
 func load(path string) (snapshot, error) {

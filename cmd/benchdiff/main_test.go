@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,5 +142,137 @@ func TestCommittedSnapshotSelfCompares(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{matches[0], matches[0]}, &out, &errOut); code != 0 {
 		t.Fatalf("self-compare of %s: exit %d\n%s%s", matches[0], code, out.String(), errOut.String())
+	}
+}
+
+// writeHistory commits n same-host history snapshots into one dir with
+// BenchmarkFast sampled at the given ns/op values.
+func writeHistory(t *testing.T, fastNs []float64) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, ns := range fastNs {
+		s := baseSnap()
+		s.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: ns}
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("BENCH_%03d.json", i)), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "BENCH_*.json")
+}
+
+// A quiet benchmark's history tightens its band below the flat ratio:
+// a +10% slowdown passes the default 15% threshold but fails against
+// the ~5% band three sigma of its own variance derives.
+func TestHistoryTightensBand(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	slowed := baseSnap()
+	slowed.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 1.1e6} // +10%
+	nw := writeSnap(t, "new.json", slowed)
+	glob := writeHistory(t, []float64{1.00e6, 1.02e6, 0.98e6, 1.00e6}) // 3σ/µ ≈ 4.9%
+
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("flat threshold should absorb +10%%: exit %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-history", glob, old, nw}, &out, &errOut); code != 1 {
+		t.Fatalf("history band should flag +10%% on a quiet benchmark: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (band") {
+		t.Errorf("regression line should name the derived band:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "noise bands from 4 same-host history snapshots") {
+		t.Errorf("band provenance line missing:\n%s", out.String())
+	}
+}
+
+// A noisy benchmark's history widens its band beyond the flat ratio:
+// the same +25% slowdown that fails the default threshold is absorbed
+// when the benchmark's own variance says it is noise.
+func TestHistoryWidensBand(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	slowed := baseSnap()
+	slowed.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 1.25e6} // +25%
+	nw := writeSnap(t, "new.json", slowed)
+	glob := writeHistory(t, []float64{1.0e6, 1.3e6, 0.7e6, 1.15e6, 0.85e6}) // 3σ/µ ≈ 72%
+
+	var out, errOut strings.Builder
+	if code := run([]string{old, nw}, &out, &errOut); code != 1 {
+		t.Fatalf("flat threshold should flag +25%%: exit %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-history", glob, old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("history band should absorb +25%% on a noisy benchmark: exit %d\n%s", code, out.String())
+	}
+}
+
+// With fewer than three same-host samples the flat ratio still governs,
+// and snapshots from other hosts never contribute to a band.
+func TestHistoryFallbackAndHostFilter(t *testing.T) {
+	old := writeSnap(t, "old.json", baseSnap())
+	slowed := baseSnap()
+	slowed.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 1.1e6} // +10%
+	nw := writeSnap(t, "new.json", slowed)
+
+	// Two same-host samples: below the minimum, flat 15% applies, +10% passes.
+	glob := writeHistory(t, []float64{1.0e6, 1.0e6})
+	var out, errOut strings.Builder
+	if code := run([]string{"-history", glob, old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("two samples must fall back to the flat ratio: exit %d\n%s", code, out.String())
+	}
+
+	// Four foreign-host samples: filtered out entirely, flat ratio again.
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		s := baseSnap()
+		s.NumCPU = 96
+		s.Results["BenchmarkFast"] = result{Iterations: 100, NsPerOp: 1e6}
+		buf, _ := json.Marshal(s)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", i)), buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-history", filepath.Join(dir, "BENCH_*.json"), old, nw}, &out, &errOut); code != 0 {
+		t.Fatalf("foreign-host history must not band: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "0 benchmarks banded") {
+		t.Errorf("provenance should show zero banded benchmarks:\n%s", out.String())
+	}
+
+	// An unreadable history file is a hard error: exit 2.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-history", filepath.Join(dir, "BENCH_*.json"), old, nw}, &out, &errOut); code != 2 {
+		t.Fatalf("corrupt history file must exit 2, got %d", code)
+	}
+}
+
+// noiseBands itself: quiet benchmarks floor at minBand, the sample
+// standard deviation (n-1) is used, and <3 samples yield no band.
+func TestNoiseBands(t *testing.T) {
+	mk := func(ns float64) snapshot {
+		return snapshot{GOOS: "linux", GOARCH: "amd64", NumCPU: 4,
+			Results: map[string]result{"B": {NsPerOp: ns}}}
+	}
+	// Identical samples: σ=0 → floored at minBand.
+	bands := noiseBands([]snapshot{mk(1e6), mk(1e6), mk(1e6)})
+	if got := bands["B"]; got != minBand {
+		t.Errorf("zero-variance band = %g, want floor %g", got, minBand)
+	}
+	// Hand-computed: samples 9e5,1e6,1.1e6 → µ=1e6, σ=1e5 → 3σ/µ=0.3.
+	bands = noiseBands([]snapshot{mk(9e5), mk(1e6), mk(1.1e6)})
+	if got := bands["B"]; got < 0.2999 || got > 0.3001 {
+		t.Errorf("band = %g, want 0.3", got)
+	}
+	// Two samples: no band.
+	if bands := noiseBands([]snapshot{mk(1e6), mk(2e6)}); len(bands) != 0 {
+		t.Errorf("two samples must not band: %v", bands)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/memtest/partialfaults/internal/analysis"
@@ -44,7 +45,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
-		defSite   = flag.String("defect", "", "short/bridge defect site (e.g. short.cell.gnd); with -predict, prints the net-merge verdict table instead of an open's float set")
+		defSite   = flag.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
 	)
 	flag.Parse()
 
@@ -137,34 +138,50 @@ func predictFloats(open defect.Open) {
 	fmt.Printf("secondary floats: %s\n", joinOrNone(pred.Secondary))
 }
 
-// predictMerge prints the net-merge verdict table for a short/bridge
-// defect site: which nets become electrically identified, whether the
-// merged class is supply-stuck or contested per phase, and the (empty)
-// floating prediction — the paper's Section 2 negative result, proven
-// statically.
-func predictMerge(site string) {
-	var sb defect.ShortOrBridge
-	found := false
+// predictMerge prints the net-merge verdict table for one or more
+// short/bridge defect sites, comma-separated, each optionally suffixed
+// "@ohms" for a resistive (weak) bridge: which nets become electrically
+// identified (transitively, across all sites at once), whether each
+// merged class is supply-stuck or contested per phase, how each weak
+// bridge's divider resolves, and the (empty) floating prediction — the
+// paper's Section 2 negative result, proven statically.
+func predictMerge(arg string) {
+	catalog := map[string]defect.ShortOrBridge{}
 	var sites []string
 	for _, s := range defect.ShortsAndBridges() {
 		sites = append(sites, s.Site)
-		if s.Site == site {
-			sb, found = s, true
-		}
+		catalog[s.Site] = s
 	}
-	if !found {
-		fatalf("unknown defect site %q; catalog: %s", site, strings.Join(sites, ", "))
+	var spec netlint.MergeSpec
+	for _, part := range strings.Split(arg, ",") {
+		part = strings.TrimSpace(part)
+		site, ohms := part, 0.0
+		if at := strings.IndexByte(part, '@'); at >= 0 {
+			site = part[:at]
+			v, err := strconv.ParseFloat(part[at+1:], 64)
+			if err != nil || v < 0 {
+				fatalf("bad resistance in %q; want e.g. %s@2e3", part, site)
+			}
+			ohms = v
+		}
+		sb, ok := catalog[site]
+		if !ok {
+			fatalf("unknown defect site %q; catalog: %s", site, strings.Join(sites, ", "))
+		}
+		fmt.Printf("%s: %s\n", sb.Name(), sb.Description)
+		spec.Elems = append(spec.Elems, netlint.MergeElem{
+			Name: dram.SiteElementName(site), Ohms: ohms,
+		})
 	}
 	col, err := dram.NewColumn(dram.Default())
 	if err != nil {
 		fatalf("predict: %v", err)
 	}
 	az := netlint.New(col.Circuit(), dram.LintModel())
-	pred, err := az.PredictMerges([]string{dram.SiteElementName(sb.Site)})
+	pred, err := az.PredictMergeSet(spec)
 	if err != nil {
 		fatalf("predict: %v", err)
 	}
-	fmt.Printf("%s: %s\n", sb.Name(), sb.Description)
 	if err := report.WriteMergePrediction(os.Stdout, pred); err != nil {
 		fatalf("predict: %v", err)
 	}

@@ -103,8 +103,10 @@ func lintRepo(root string) (lint.Findings, error) {
 
 // seededBadFindings lints intentionally broken inputs — a netlist with
 // a floating net and a voltage-source loop, a march test that can never
-// pass on a healthy memory, and a technology with unphysical parameters
-// — proving the analyzers can fail.
+// pass on a healthy memory, a technology with unphysical parameters, a
+// rail-to-rail short, a transitive double short joining both rails only
+// through an intermediate net, and a weak resistive bridge forming a
+// contested divider — proving the analyzers can fail.
 func seededBadFindings() lint.Findings {
 	ckt := circuit.New()
 	vdd := ckt.Node("vdd")
@@ -145,6 +147,48 @@ func seededBadFindings() lint.Findings {
 		Roles:  map[string][]string{"out": {"on"}},
 	})
 	out = append(out, merged.CheckMerges([]string{"R_short"})...)
+
+	// A transitive double short: neither defect alone touches both
+	// rails, but together they chain vdd—mid—gnd, so only the
+	// multi-defect contraction sees the supply pair.
+	dck := circuit.New()
+	dvdd := dck.Node("vdd")
+	dmid := dck.Node("mid")
+	dout := dck.Node("out")
+	dck.MustAdd(device.NewVSource("V1", dvdd, 0, device.DC(3.3)))
+	dck.MustAdd(device.NewResistor("R_load", dvdd, dout, 1e3))
+	dck.MustAdd(device.NewResistor("R_gnd", dout, 0, 1e3))
+	dck.MustAdd(device.NewResistor("R_s1", dvdd, dmid, 10))
+	dck.MustAdd(device.NewResistor("R_s2", dmid, 0, 10))
+	dck.Freeze()
+	double := netlint.New(dck, netlint.Model{
+		Phases: []netlint.Phase{{Name: "on"}},
+		Roles:  map[string][]string{"out": {"on"}, "mid": {"on"}},
+	})
+	out = append(out, double.CheckMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: "R_s1"}, {Name: "R_s2"},
+	}})...)
+
+	// A weak resistive bridge: out's own 2 mS divider drive against an
+	// ideal rail through a 1.5 kΩ bridge is within the weak ratio — a
+	// genuine analog fight the prover must flag as weak-contested.
+	wck := circuit.New()
+	wvdd := wck.Node("vdd")
+	wout := wck.Node("out")
+	wck.MustAdd(device.NewVSource("V1", wvdd, 0, device.DC(3.3)))
+	wck.MustAdd(device.NewResistor("R_a", wvdd, wout, 1e3))
+	wck.MustAdd(device.NewResistor("R_b", wout, 0, 1e3))
+	wck.MustAdd(device.NewResistor("R_weak", wout, wvdd, 1.5e3))
+	wck.Freeze()
+	weak := netlint.New(wck, netlint.Model{
+		Phases:     []netlint.Phase{{Name: "on"}},
+		Roles:      map[string][]string{"out": {"on"}},
+		CutoffOhms: 1e9,
+		NetVolts:   map[string]float64{"vdd": 3.3},
+	})
+	out = append(out, weak.CheckMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: "R_weak", Ohms: 1.5e3},
+	}})...)
 	out.Sort()
 	return out
 }

@@ -22,7 +22,15 @@ func TestSelftestExitsNonzero(t *testing.T) {
 	if code := run([]string{"-selftest"}, &out, &errOut); code != 1 {
 		t.Fatalf("exit = %d on seeded bad inputs, want 1\nstderr:\n%s", code, errOut.String())
 	}
-	for _, want := range []string{"floating-net", "vsource-loop", "contradictory-read", "merge-supply-pair"} {
+	for _, want := range []string{
+		"floating-net", "vsource-loop", "contradictory-read", "merge-supply-pair",
+		// The transitive double short: neither R_s1 nor R_s2 alone joins
+		// both rails, so this class can only come from the multi-defect
+		// contraction.
+		"0=mid=vdd",
+		// The weak resistive bridge's contested divider.
+		"merge-weak-contested",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("selftest output missing %q:\n%s", want, out.String())
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 
@@ -27,12 +28,27 @@ type OutcomeKey struct {
 func NewOutcomeKey(open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS) OutcomeKey {
 	return OutcomeKey{
 		OpenID: open.ID,
-		Site:   open.Site,
+		Site:   siteKey(open),
 		RDef:   rdef,
 		Nets:   strings.Join(nets, ","),
 		U:      u,
 		SOS:    canonicalSOS(sos),
 	}
+}
+
+// siteKey encodes the full injected-site set — multi-defect scenarios
+// with the same primary site but different Extra lists must not share
+// memo entries.
+func siteKey(open defect.Open) string {
+	if len(open.Extra) == 0 {
+		return open.Site
+	}
+	var b strings.Builder
+	b.WriteString(open.Site)
+	for _, x := range open.Extra {
+		fmt.Fprintf(&b, "+%s@%g", x.Site, x.Ohms)
+	}
+	return b.String()
 }
 
 // canonicalSOS encodes exactly the fields RunSOS acts on.

@@ -30,11 +30,12 @@ func Preflight(tech dram.Technology) (lint.Findings, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: preflight netlist build: %w", err)
 	}
-	az := netlint.New(col.Circuit(), dram.LintModel())
+	az := netlint.New(col.Circuit(), dram.LintModelFor(tech))
 	out := techFindings
 	out = append(out, az.Check()...)
 	out = append(out, CrossCheckOpens(az)...)
 	out = append(out, CrossCheckShortsBridges(az)...)
+	out = append(out, CrossCheckMergeScenarios(az)...)
 	out = append(out, march.LintAll(march.All())...)
 	out.Sort()
 	return out, nil
@@ -133,6 +134,115 @@ func CrossCheckShortsBridges(az *netlint.Analyzer) lint.Findings {
 			})
 		}
 		out = append(out, pred.Findings()...)
+	}
+	out.Sort()
+	return out
+}
+
+// MergeSpecFor translates a catalog merge scenario into the static
+// prover's input: each declared site's element with its resistance
+// (0 = ideal short, contracted hard).
+func MergeSpecFor(sc defect.MergeScenario) netlint.MergeSpec {
+	var spec netlint.MergeSpec
+	for _, s := range sc.Sites {
+		spec.Elems = append(spec.Elems, netlint.MergeElem{
+			Name: dram.SiteElementName(s.Site), Ohms: s.Ohms,
+		})
+	}
+	return spec
+}
+
+// CrossCheckMergeScenarios runs the multi-defect prover over every
+// merge scenario in the catalog and verifies the declarations against
+// the prover's output: the hard-merged classes (names and per-phase
+// verdicts) and the weak-merge divider verdicts must match exactly
+// (merge-scenario-mismatch otherwise — the catalog and the netlist have
+// drifted apart). The prover's standing findings ride along, so a
+// scenario that transitively joins two rails or floats a net surfaces
+// here too.
+func CrossCheckMergeScenarios(az *netlint.Analyzer) lint.Findings {
+	var out lint.Findings
+	mismatch := func(name, format string, args ...any) {
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "merge-scenario-mismatch", Severity: lint.Error,
+			Subject: name, Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, sc := range defect.MergeScenarios() {
+		pred, err := az.PredictMergeSet(MergeSpecFor(sc))
+		if err != nil {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "merge-analysis", Severity: lint.Error,
+				Subject: sc.Name, Message: err.Error(),
+			})
+			continue
+		}
+
+		gotClasses := map[string]netlint.MergedClass{}
+		for _, mc := range pred.Classes {
+			got := mc
+			gotClasses[mc.Name] = got
+		}
+		if len(pred.Classes) != len(sc.Classes) {
+			var names []string
+			for _, mc := range pred.Classes {
+				names = append(names, mc.Name)
+			}
+			mismatch(sc.Name, "graph contraction yields %d classes %v but the scenario declares %d", len(pred.Classes), names, len(sc.Classes))
+		}
+		for name, phases := range sc.Classes {
+			mc, ok := gotClasses[name]
+			if !ok {
+				mismatch(sc.Name, "declared class %q not produced by the contraction", name)
+				continue
+			}
+			for ph, wantStr := range phases {
+				want, err := netlint.ParseVerdict(wantStr)
+				if err != nil {
+					mismatch(sc.Name, "class %q phase %q: %v", name, ph, err)
+					continue
+				}
+				if got := mc.Verdicts[ph]; got != want {
+					mismatch(sc.Name, "class %q phase %q: prover says %s, catalog declares %s", name, ph, got, want)
+				}
+			}
+		}
+
+		gotWeak := map[string]netlint.WeakMerge{}
+		for _, wm := range pred.Weak {
+			gotWeak[wm.Elem] = wm
+		}
+		if len(pred.Weak) != len(sc.Weak) {
+			mismatch(sc.Name, "prover analyzed %d weak merges but the scenario declares %d", len(pred.Weak), len(sc.Weak))
+		}
+		for _, we := range sc.Weak {
+			elem := dram.SiteElementName(we.Site)
+			wm, ok := gotWeak[elem]
+			if !ok {
+				mismatch(sc.Name, "declared weak merge %q not analyzed (is its resistance above the hard threshold?)", elem)
+				continue
+			}
+			for ph, wantStr := range we.Verdicts {
+				want, err := netlint.ParseVerdict(wantStr)
+				if err != nil {
+					mismatch(sc.Name, "weak %q phase %q: %v", elem, ph, err)
+					continue
+				}
+				if got := wm.Verdicts[ph]; got != want {
+					mismatch(sc.Name, "weak %q phase %q: prover says %s, catalog declares %s", elem, ph, got, want)
+				}
+			}
+		}
+		pf := pred.Findings()
+		for i := range pf {
+			// A contested divider the catalog itself declares (enforced
+			// above) is expected behaviour, not drift — demote the
+			// standing warning so a clean preflight stays clean.
+			if pf[i].Rule == "merge-weak-contested" {
+				pf[i].Severity = lint.Info
+			}
+		}
+		out = append(out, pf...)
 	}
 	out.Sort()
 	return out

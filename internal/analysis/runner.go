@@ -60,10 +60,34 @@ type Releaser interface {
 	Release()
 }
 
+// VoltageProber is the optional Memory extension exposing settled net
+// voltages, used by the weak-merge differential checks to compare the
+// transient engine's divider midpoint against the static prediction.
+type VoltageProber interface {
+	Memory
+	// NetVoltage returns the present voltage of the named net.
+	NetVoltage(net string) float64
+}
+
 // Factory builds a Memory with the given open injected at resistance
 // rdef. Implementations exist for the electrical column (NewSpiceFactory)
 // and the fast analytical model (behav.NewFactory).
 type Factory func(open defect.Open, rdef float64) (Memory, error)
+
+// injectSites applies the descriptor's full defect-site set to a
+// column-like target: the primary site at the swept rdef, every Extra
+// site at its declared resistance (or rdef when it declares none) — the
+// multi-defect scenarios of the merge catalog.
+func injectSites(set func(site string, ohms float64), open defect.Open, rdef float64) {
+	set(open.Site, rdef)
+	for _, x := range open.Extra {
+		ohms := x.Ohms
+		if ohms == 0 {
+			ohms = rdef
+		}
+		set(x.Site, ohms)
+	}
+}
 
 // NewSpiceFactory returns a Factory backed by the transient-simulated
 // DRAM column. Every call builds a fresh column; prefer
@@ -75,7 +99,7 @@ func NewSpiceFactory(tech dram.Technology) Factory {
 		if err != nil {
 			return nil, err
 		}
-		col.SetSiteResistance(open.Site, rdef)
+		injectSites(col.SetSiteResistance, open, rdef)
 		if err := col.PowerUp(); err != nil {
 			return nil, fmt.Errorf("analysis: power-up with %s at %.3g Ω: %w", open.Name(), rdef, err)
 		}
@@ -123,7 +147,7 @@ func NewPooledSpiceFactory(tech dram.Technology) Factory {
 		if err != nil {
 			return nil, err
 		}
-		col.SetSiteResistance(open.Site, rdef)
+		injectSites(col.SetSiteResistance, open, rdef)
 		if err := col.PowerUp(); err != nil {
 			pool.put(col)
 			return nil, fmt.Errorf("analysis: power-up with %s at %.3g Ω: %w", open.Name(), rdef, err)
@@ -155,6 +179,9 @@ func (m *spiceMemory) SetFloat(nets []string, u float64) {
 }
 
 func (m *spiceMemory) VictimBit() int { return m.col.CellBit(0) }
+
+// NetVoltage implements VoltageProber.
+func (m *spiceMemory) NetVoltage(net string) float64 { return m.col.Voltage(net) }
 
 // Snapshot implements Snapshotter via the column's backward-Euler state
 // capture (node voltages, clock, control waveforms and levels).

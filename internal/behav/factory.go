@@ -59,6 +59,13 @@ func NewFactory(p Params) analysis.Factory {
 	return func(open defect.Open, rdef float64) (analysis.Memory, error) {
 		m := New(p)
 		m.SetSiteResistance(open.Site, rdef)
+		for _, x := range open.Extra {
+			ohms := x.Ohms
+			if ohms == 0 {
+				ohms = rdef
+			}
+			m.SetSiteResistance(x.Site, ohms)
+		}
 		return &memory{m: m}, nil
 	}
 }

@@ -73,6 +73,20 @@ type Open struct {
 	// Simulated mirrors the paper's Section 5: Open 2 was described but
 	// not electrically simulated there.
 	Simulated bool
+	// Extra lists additional defect sites injected together with Site —
+	// the multi-defect scenarios of the merge catalog. An entry with
+	// Ohms == 0 follows the sweep's R_def like the primary site; a
+	// non-zero entry is injected at that fixed resistance.
+	Extra []SiteOhms
+}
+
+// SiteOhms is one additional defect-site injection of a multi-defect
+// scenario.
+type SiteOhms struct {
+	// Site is the dram defect-site resistor.
+	Site string
+	// Ohms is the injected resistance; 0 means "use the sweep's R_def".
+	Ohms float64
 }
 
 // Name returns the conventional name, e.g. "Open 4".

@@ -1,0 +1,191 @@
+package defect
+
+import "github.com/memtest/partialfaults/internal/dram"
+
+// This file extends the short/bridge catalog beyond single ideal
+// defects: multi-defect scenarios (several simultaneous shorts/bridges,
+// contracted together by the static prover) and weak merges (resistive
+// bridges below the conductive cutoff, analyzed as voltage dividers).
+// Every entry DECLARES its expected static verdicts; the analysis
+// layer's Preflight cross-check and the differential equivalence test
+// hold the catalog, the netlist, the static prover and the transient
+// engine bit-for-bit against each other.
+
+// WeakCheck nails one weak merge's divider prediction to the transient
+// engine: initialize the victim cell to InitBit, let the controller
+// idle (precharge) SettleIdles times so the divider reaches DC, then
+// the named net must sit within TolVolts of the statically predicted
+// loaded voltage for Phase.
+type WeakCheck struct {
+	// Net is the dram net whose settled voltage is measured.
+	Net string
+	// Phase names the static prediction phase the measurement mirrors.
+	Phase string
+	// InitBit is the victim-cell data written before settling.
+	InitBit int
+	// SettleIdles is how many idle (precharge) cycles to run; each is
+	// TPre long, so 3 cycles ≈ 9 ns ≫ the divider time constants.
+	SettleIdles int
+	// TolVolts is the allowed |measured − predicted| difference. The
+	// static model is a logic-level abstraction (one representative
+	// channel on-resistance), so the band is generous but still tight
+	// enough to tell the divider midpoint from either rail.
+	TolVolts float64
+}
+
+// WeakExpect declares the expected divider analysis of one weak merge.
+type WeakExpect struct {
+	// Site is the defect-site resistor analyzed as a weak merge.
+	Site string
+	// Verdicts maps phase name to the expected verdict string
+	// (netlint.ClassVerdict.String()).
+	Verdicts map[string]string
+	// Check optionally pins the divider voltage electrically.
+	Check *WeakCheck
+}
+
+// MergeScenario is one multi-defect and/or weak-merge catalog entry.
+type MergeScenario struct {
+	// Name identifies the scenario in reports and test output.
+	Name string
+	// Description characterizes the combined defect.
+	Description string
+	// Sites are the injected defect sites; the first is the primary
+	// (its Ohms == 0 means "swept R_def", a fixed value otherwise).
+	Sites []SiteOhms
+	// Probe is the line-voltage group swept to demonstrate that the
+	// observed behaviour does not depend on an initialization — the
+	// Section 2 negative result must survive defect co-occurrence.
+	Probe FloatGroup
+	// Classes maps each expected hard-merged class name
+	// (circuit.MergeName form) to its per-phase verdict strings.
+	Classes map[string]map[string]string
+	// Weak lists the expected weak-merge analyses.
+	Weak []WeakExpect
+}
+
+// AsOpenDescriptor adapts the scenario to the Open shape the sweep
+// machinery consumes: primary site plus the remaining sites as Extra.
+func (m MergeScenario) AsOpenDescriptor() Open {
+	o := Open{
+		ID:          0,
+		Site:        m.Sites[0].Site,
+		Description: m.Description,
+		Floats:      []FloatGroup{m.Probe},
+		Simulated:   true,
+	}
+	o.Extra = append(o.Extra, m.Sites[1:]...)
+	return o
+}
+
+// MergeScenarios returns the multi-defect and weak-merge catalog.
+//
+// The hard multi-defect entries exercise transitive contraction: two
+// defects whose classes coalesce into one three-net class. The weak
+// entries pick resistances where the divider physics is interesting —
+// a retention-killing cell leak, a bridge strong enough to fight the
+// precharge device (the one weak-contested phase in the catalog), a
+// symmetric bit-line bridge, and a bridge so weak it matters only for
+// the accessed cell.
+func MergeScenarios() []MergeScenario {
+	blProbe := FloatGroup{Var: FloatBitLine, Nets: []string{dram.NetBTCell}}
+	allPhases := func(verdict string) map[string]string {
+		return map[string]string{
+			"precharge": verdict, "sense0": verdict, "sense1": verdict,
+			"write0": verdict, "write1": verdict, "readout": verdict,
+		}
+	}
+	return []MergeScenario{
+		{
+			Name:        "double.cell",
+			Description: "victim cell shorted to ground AND bridged to the neighbouring cell: both storage nodes join the ground class",
+			Sites: []SiteOhms{
+				{Site: dram.SiteShortCellGnd},
+				{Site: dram.SiteBridgeCells},
+			},
+			Probe: blProbe,
+			Classes: map[string]map[string]string{
+				"0=c0s=c1s": {
+					"precharge": "stuck",
+					"sense0":    "contested", "sense1": "contested",
+					"write0": "contested", "write1": "contested",
+					"readout": "contested",
+				},
+			},
+		},
+		{
+			Name:        "double.bl",
+			Description: "bit line shorted to VDD AND bridged to its complement: a transitive rail class spanning both bit lines",
+			Sites: []SiteOhms{
+				{Site: dram.SiteShortBLVdd},
+				{Site: dram.SiteBridgeBLBL},
+			},
+			Probe: blProbe,
+			Classes: map[string]map[string]string{
+				"bcC=btC=vddn": allPhases("contested"),
+			},
+		},
+		{
+			Name:        "weak.cell.gnd",
+			Description: "50 kΩ leak from the victim storage node to ground: a retention divider the cell always loses when unaccessed",
+			Sites:       []SiteOhms{{Site: dram.SiteShortCellGnd, Ohms: 5e4}},
+			Probe:       blProbe,
+			Weak: []WeakExpect{{
+				Site:     dram.SiteShortCellGnd,
+				Verdicts: allPhases("weak-driven"),
+				Check: &WeakCheck{
+					Net: dram.NetCell0Store, Phase: "precharge",
+					InitBit: 1, SettleIdles: 3, TolVolts: 0.25,
+				},
+			}},
+		},
+		{
+			Name:        "weak.bl.vdd",
+			Description: "2 kΩ short from the bit line to VDD: comparable to the precharge device's on-resistance, a genuine divider fight during precharge",
+			Sites:       []SiteOhms{{Site: dram.SiteShortBLVdd, Ohms: 2e3}},
+			Probe:       blProbe,
+			Weak: []WeakExpect{{
+				Site: dram.SiteShortBLVdd,
+				Verdicts: map[string]string{
+					"precharge": "weak-contested",
+					"sense0":    "weak-driven", "sense1": "weak-driven",
+					"write0": "weak-driven", "write1": "weak-driven",
+					"readout": "weak-driven",
+				},
+				Check: &WeakCheck{
+					Net: dram.NetBTCell, Phase: "precharge",
+					InitBit: 0, SettleIdles: 2, TolVolts: 0.3,
+				},
+			}},
+		},
+		{
+			Name:        "weak.bl.bl",
+			Description: "3 kΩ bridge between the true and complementary bit lines: both sides precharge to the same equalize level, so the bridge carries no fight at rest",
+			Sites:       []SiteOhms{{Site: dram.SiteBridgeBLBL, Ohms: 3e3}},
+			Probe:       blProbe,
+			Weak: []WeakExpect{{
+				Site:     dram.SiteBridgeBLBL,
+				Verdicts: allPhases("weak-driven"),
+				Check: &WeakCheck{
+					Net: dram.NetBTCell, Phase: "precharge",
+					InitBit: 0, SettleIdles: 2, TolVolts: 0.2,
+				},
+			}},
+		},
+		{
+			Name:        "weak.cell.cell",
+			Description: "1 MΩ bridge between the victim and the neighbouring cell: isolated at rest, a one-sided divider whenever either word line opens",
+			Sites:       []SiteOhms{{Site: dram.SiteBridgeCells, Ohms: 1e6}},
+			Probe:       blProbe,
+			Weak: []WeakExpect{{
+				Site: dram.SiteBridgeCells,
+				Verdicts: map[string]string{
+					"precharge": "isolated",
+					"sense0":    "weak-driven", "sense1": "weak-driven",
+					"write0": "weak-driven", "write1": "weak-driven",
+					"readout": "weak-driven",
+				},
+			}},
+		},
+	}
+}

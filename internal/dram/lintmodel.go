@@ -1,6 +1,9 @@
 package dram
 
-import "github.com/memtest/partialfaults/internal/netlint"
+import (
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
 
 // LintModel returns the phase-aware netlint model of the column: which
 // control nets are high in each operating phase of the controller's
@@ -27,7 +30,15 @@ import "github.com/memtest/partialfaults/internal/netlint"
 // cell by the sensing that uses it; the word-line gate by every phase
 // (its driver must always reach it); the output buffer and IO by
 // readout.
-func LintModel() netlint.Model {
+func LintModel() netlint.Model { return LintModelFor(Default()) }
+
+// LintModelFor is LintModel parameterized by the technology, so the
+// weak-merge divider analysis can use the actual rail voltages and a
+// channel on-resistance consistent with the level-1 device model: a
+// boosted gate at VPP over an NMOS pass device sitting near VBLEQ gives
+// Ron ≈ 1 / (β·(Vgs − Vt)), the triode small-signal conductance the
+// transient engine exhibits for the precharge and access devices.
+func LintModelFor(t Technology) netlint.Model {
 	// Control nets left out of a phase's Levels are unknown and gate
 	// nothing on; only senb needs an explicit level everywhere because it
 	// gates a PMOS (active-low), where unknown and low differ.
@@ -62,15 +73,20 @@ func LintModel() netlint.Model {
 		roles[bl] = []string{"precharge"}
 	}
 
+	phases := []netlint.Phase{
+		{Name: "precharge", Levels: map[string]bool{sigPre: true, sigDRef: true, sigSENB: true}},
+		{Name: "sense0", Levels: sense("wl0d")},
+		{Name: "sense1", Levels: sense(sigWL1)},
+		{Name: "write0", Levels: write("wl0d")},
+		{Name: "write1", Levels: write(sigWL1)},
+		{Name: "readout", Levels: readout},
+	}
+
+	nmos := device.DefaultNMOS()
+	onOhms := 1 / (nmos.Beta() * (t.VPP - t.VBLEQ - nmos.Vt0))
+
 	return netlint.Model{
-		Phases: []netlint.Phase{
-			{Name: "precharge", Levels: map[string]bool{sigPre: true, sigDRef: true, sigSENB: true}},
-			{Name: "sense0", Levels: sense("wl0d")},
-			{Name: "sense1", Levels: sense(sigWL1)},
-			{Name: "write0", Levels: write("wl0d")},
-			{Name: "write1", Levels: write(sigWL1)},
-			{Name: "readout", Levels: readout},
-		},
+		Phases: phases,
 		Latches: []netlint.Latch{{
 			Elements: []string{"M_sn1", "M_sn2", "M_sp1", "M_sp2"},
 			Requires: [][2]string{{NetSAN, "0"}, {NetSAP, "vddn"}},
@@ -78,5 +94,11 @@ func LintModel() netlint.Model {
 		}},
 		Roles:      roles,
 		CutoffOhms: 1e9,
+		OnOhms:     onOhms,
+		NetVolts: map[string]float64{
+			"vddn":   t.VDD,
+			"vref":   t.VRefCell,
+			"vbleqS": t.VBLEQ,
+		},
 	}
 }

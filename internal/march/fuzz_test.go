@@ -1,0 +1,53 @@
+package march
+
+import "testing"
+
+// FuzzParseMarch drives the notation parser with arbitrary input. Two
+// properties must hold: Parse never panics (rejected inputs return an
+// error), and any accepted input round-trips — rendering the parsed
+// test with String and parsing it again yields a semantically equal
+// test, with String as a fixpoint (the canonical arrow form).
+func FuzzParseMarch(f *testing.F) {
+	// Seed corpus: the full library in canonical form, the paper's ASCII
+	// form, and a few edge shapes.
+	for _, t := range All() {
+		f.Add(t.String())
+	}
+	f.Add("{m(w0); u(r0,w1); d(r1,w0)}")
+	f.Add("m(w0)")
+	f.Add("{⇕(w0)}")
+	f.Add("{⇑(r1,w0,r0); ⇓(r0)}")
+	f.Add("")
+	f.Add("{u(); d(r1)}")
+	f.Add("{x(w0)}")
+	f.Add("{⇑(w2)}")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := Parse("fuzz", s)
+		if err != nil {
+			return // rejection is fine; the property is no panic
+		}
+		canonical := parsed.String()
+		again, err := Parse("fuzz", canonical)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", s, canonical, err)
+		}
+		if len(again.Elements) != len(parsed.Elements) {
+			t.Fatalf("round trip of %q changed element count %d → %d", s, len(parsed.Elements), len(again.Elements))
+		}
+		for i := range parsed.Elements {
+			a, b := parsed.Elements[i], again.Elements[i]
+			if a.Order != b.Order || len(a.Ops) != len(b.Ops) {
+				t.Fatalf("round trip of %q changed element %d: %v → %v", s, i, a, b)
+			}
+			for j := range a.Ops {
+				if a.Ops[j] != b.Ops[j] {
+					t.Fatalf("round trip of %q changed op %d.%d: %v → %v", s, i, j, a.Ops[j], b.Ops[j])
+				}
+			}
+		}
+		if fix := again.String(); fix != canonical {
+			t.Fatalf("String is not a fixpoint: %q → %q", canonical, fix)
+		}
+	})
+}

@@ -9,14 +9,18 @@ import (
 )
 
 // This file implements the net-merge analysis: the static prediction of
-// what a short or bridge defect does to the circuit. An open cuts a
-// conduction path; a short or bridge is the dual transform — it adds
+// what one or more short/bridge defects do to the circuit. An open cuts
+// a conduction path; a short or bridge is the dual transform — it adds
 // one, identifying two previously distinct nets into one electrical
 // node. The analysis contracts the circuit graph with a union-find over
-// the defect-site edges and re-runs the phase-aware drive classification
-// on the contracted graph, yielding per defect and per phase:
+// ALL the defect-site edges at once and re-runs the phase-aware drive
+// classification on the contracted graph, yielding per scenario and per
+// phase:
 //
 //   - which nets become electrically identified (the merged classes),
+//     including classes that only arise transitively — two shorts that
+//     individually touch different rails can join vdd and gnd into one
+//     rail-pair class,
 //   - whether each class is supply-stuck (the short itself enforces a
 //     rail value and nothing fights it) or contested (two independent
 //     drivers meet in one class — a voltage-divider fight whose outcome
@@ -32,13 +36,20 @@ import (
 // independent driver distinct from the rails that power it. For every
 // member of a merged class the analysis collects the anchors reachable
 // from that member through the phase's conducting graph WITHOUT the
-// merge edges (each member's "own" drive), never traversing through a
+// defect edges (each member's "own" drive), never traversing through a
 // source or a latch channel: a source edge is where voltage is imposed,
 // not a wire, and an enabled latch is a regenerating driver, not a
 // passive path. Two members with different non-empty anchor sets are
 // two independent drivers shorted together — contested.
+//
+// Defect elements whose resistance exceeds the hard threshold but stays
+// below the model's CutoffOhms are WEAK merges: too resistive to
+// contract outright, too conductive to ignore. They are analyzed as
+// voltage dividers instead — see weak.go for the Thevenin-equivalent
+// machinery behind VerdictWeakDriven / VerdictWeakContested.
 
-// ClassVerdict classifies one merged net class in one phase.
+// ClassVerdict classifies one merged net class (or one weak-merge
+// divider) in one phase.
 type ClassVerdict int
 
 const (
@@ -59,6 +70,20 @@ const (
 	// sets — independent drivers merged into a voltage-divider fight.
 	// The resolved voltage depends on relative drive strength.
 	VerdictContested
+	// VerdictWeakDriven: a sub-cutoff resistive bridge whose divider is
+	// dominated by one side — either only one side is anchored at all,
+	// both sides agree on their drive, or one side's conductance
+	// outweighs the drive arriving through the bridge by more than the
+	// configured WeakRatio. The dominated endpoint settles near the
+	// dominant side's voltage.
+	VerdictWeakDriven
+	// VerdictWeakContested: both sides of a weak merge are anchored at
+	// different targets and, at some endpoint, the drive arriving
+	// through the bridge is within WeakRatio of the endpoint's own
+	// drive — the divider midpoint sits between the targets and the
+	// outcome depends on the actual resistances, the analog regime the
+	// paper's hard stuck-at model cannot express.
+	VerdictWeakContested
 )
 
 // String returns the verdict name used in findings and reports.
@@ -72,9 +97,57 @@ func (v ClassVerdict) String() string {
 		return "stuck"
 	case VerdictContested:
 		return "contested"
+	case VerdictWeakDriven:
+		return "weak-driven"
+	case VerdictWeakContested:
+		return "weak-contested"
 	}
 	return fmt.Sprintf("ClassVerdict(%d)", int(v))
 }
+
+// ParseVerdict maps a verdict name back to its value — the inverse of
+// String, used by catalogs that declare expected verdicts as text.
+func ParseVerdict(s string) (ClassVerdict, error) {
+	for _, v := range []ClassVerdict{VerdictIsolated, VerdictDriven, VerdictStuck, VerdictContested, VerdictWeakDriven, VerdictWeakContested} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("netlint: unknown verdict %q", s)
+}
+
+// MergeElem names one defect element of a merge scenario together with
+// its bridging resistance. Ohms at or below the spec's hard threshold
+// (zero means an ideal short) contracts the element's branch outright; a
+// larger sub-cutoff value makes it a weak merge analyzed as a divider.
+type MergeElem struct {
+	Name string
+	Ohms float64
+}
+
+// MergeSpec describes a set of simultaneous short/bridge defects to
+// analyze as one scenario.
+type MergeSpec struct {
+	// Elems are the defect elements, hard and weak mixed freely.
+	Elems []MergeElem
+	// HardOhms is the resistance at or below which a defect element is
+	// contracted as an ideal short. Zero means DefaultHardOhms.
+	HardOhms float64
+	// WeakRatio is the conductance ratio within which a weak merge's two
+	// sides count as comparable drivers (weak-contested). Zero means
+	// DefaultWeakRatio.
+	WeakRatio float64
+}
+
+const (
+	// DefaultHardOhms is the hard-contraction threshold when MergeSpec
+	// leaves HardOhms zero: a bridge at or below 1 kΩ is comparable to a
+	// channel on-resistance and behaves as the paper's ideal short.
+	DefaultHardOhms = 1e3
+	// DefaultWeakRatio is the contested-band conductance ratio when
+	// MergeSpec leaves WeakRatio zero.
+	DefaultWeakRatio = 4.0
+)
 
 // MergedClass is one equivalence class of nets identified by the merge.
 type MergedClass struct {
@@ -92,14 +165,18 @@ type MergedClass struct {
 	// the class reaches in that phase (diagnostic detail behind the
 	// verdict; latch outputs appear as "latch:<net>").
 	Anchors map[string][]string
+
+	members []int // node indices, for the per-phase classification
 }
 
-// MergePrediction is the full static prediction for one short/bridge.
+// MergePrediction is the full static prediction for one merge scenario.
 type MergePrediction struct {
-	// Elems are the analyzed merge elements (the defect-site resistors).
+	// Elems are the analyzed defect elements in spec order.
 	Elems []string
-	// Classes are the merged net classes, sorted by Name.
+	// Classes are the hard-merged net classes, sorted by Name.
 	Classes []MergedClass
+	// Weak are the weak-merge divider analyses, sorted by element name.
+	Weak []WeakMerge
 	// Phases are the model's phase names in declaration order.
 	Phases []string
 	// Floats is the role-aware floating prediction on the merged graph.
@@ -109,24 +186,66 @@ type MergePrediction struct {
 }
 
 // PredictMerges contracts the graph over the named elements' conduction
-// branches (treating them as hard shorts regardless of their present
-// resistance) and classifies every resulting merged class per phase. It
-// errors on unknown elements, elements with no conduction branch to
-// merge over, and models without phases — all analysis-setup bugs, not
-// defect properties.
+// branches (treating them all as hard shorts regardless of their present
+// resistance) and classifies every resulting merged class per phase —
+// the single-threshold entry point kept for callers that predate
+// MergeSpec.
 func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
+	spec := MergeSpec{}
+	for _, name := range mergeElems {
+		spec.Elems = append(spec.Elems, MergeElem{Name: name})
+	}
+	return a.PredictMergeSet(spec)
+}
+
+// PredictMergeSet analyzes a set of simultaneous short/bridge defects:
+// hard elements (Ohms ≤ HardOhms) are contracted together under one
+// union-find, so transitive classes — including rail pairs joined by two
+// distinct shorts — are found; weak elements (HardOhms < Ohms <
+// CutoffOhms) get the divider analysis on the contracted graph. It
+// errors on unknown or duplicate elements, resistances at or above the
+// cutoff (that is an open, not a merge), elements with no conduction
+// branch to merge over, and models without phases — all analysis-setup
+// bugs, not defect properties.
+func (a *Analyzer) PredictMergeSet(spec MergeSpec) (MergePrediction, error) {
 	if len(a.model.Phases) == 0 {
 		return MergePrediction{}, fmt.Errorf("netlint: merge analysis needs a phase model")
 	}
-	merge := map[string]bool{}
-	for _, name := range mergeElems {
-		merge[name] = true
-		if a.ckt.Element(name) == nil {
-			return MergePrediction{}, fmt.Errorf("netlint: merge element %q is not in the circuit", name)
+	hardOhms := spec.HardOhms
+	if hardOhms == 0 {
+		hardOhms = DefaultHardOhms
+	}
+	weakRatio := spec.WeakRatio
+	if weakRatio == 0 {
+		weakRatio = DefaultWeakRatio
+	}
+	defectElems := map[string]bool{}
+	hard := map[string]bool{}
+	var hardNames []string
+	var weakElems []MergeElem
+	var names []string
+	for _, el := range spec.Elems {
+		if a.ckt.Element(el.Name) == nil {
+			return MergePrediction{}, fmt.Errorf("netlint: merge element %q is not in the circuit", el.Name)
+		}
+		if defectElems[el.Name] {
+			return MergePrediction{}, fmt.Errorf("netlint: merge element %q listed twice in one scenario", el.Name)
+		}
+		defectElems[el.Name] = true
+		names = append(names, el.Name)
+		if a.model.CutoffOhms > 0 && el.Ohms >= a.model.CutoffOhms {
+			return MergePrediction{}, fmt.Errorf("netlint: merge element %q at %.3g Ω is at or above the %.3g Ω cutoff — that is an open, not a merge", el.Name, el.Ohms, a.model.CutoffOhms)
+		}
+		if el.Ohms <= hardOhms {
+			hard[el.Name] = true
+			hardNames = append(hardNames, el.Name)
+		} else {
+			weakElems = append(weakElems, el)
 		}
 	}
 
-	// Union-find contraction over the merge elements' non-sense branches.
+	// Union-find contraction over ALL hard elements' non-sense branches
+	// at once, so classes joined only transitively still coalesce.
 	parent := make([]int, a.nodes)
 	for i := range parent {
 		parent[i] = i
@@ -141,7 +260,7 @@ func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
 	}
 	merged := 0
 	for _, e := range a.edges {
-		if !merge[e.elem] || e.kind == circuit.PathSense {
+		if !hard[e.elem] || e.kind == circuit.PathSense {
 			continue
 		}
 		ra, rb := find(e.a), find(e.b)
@@ -150,15 +269,15 @@ func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
 			merged++
 		}
 	}
-	if merged == 0 {
-		return MergePrediction{}, fmt.Errorf("netlint: elements %v have no conduction branch to merge over", mergeElems)
+	if merged == 0 && len(weakElems) == 0 {
+		return MergePrediction{}, fmt.Errorf("netlint: elements %v have no conduction branch to merge over", hardNames)
 	}
 	classNodes := map[int][]int{}
 	for n := 0; n < a.nodes; n++ {
 		classNodes[find(n)] = append(classNodes[find(n)], n)
 	}
 
-	pred := MergePrediction{Elems: append([]string(nil), mergeElems...)}
+	pred := MergePrediction{Elems: names}
 	for _, p := range a.model.Phases {
 		pred.Phases = append(pred.Phases, p.Name)
 	}
@@ -170,6 +289,7 @@ func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
 		mc := MergedClass{
 			Verdicts: map[string]ClassVerdict{},
 			Anchors:  map[string][]string{},
+			members:  members,
 		}
 		for _, n := range members {
 			mc.Nets = append(mc.Nets, a.ckt.NodeName(n))
@@ -180,19 +300,39 @@ func (a *Analyzer) PredictMerges(mergeElems []string) (MergePrediction, error) {
 		mc.Name = circuit.MergeName(mc.Nets)
 		mc.Nets = splitMergeName(mc.Name)
 		sort.Strings(mc.Supplies)
-		for _, p := range a.model.Phases {
-			verdict, anchors := a.classVerdict(p, members, merge, supply)
-			mc.Verdicts[p.Name] = verdict
-			mc.Anchors[p.Name] = anchors
-		}
 		pred.Classes = append(pred.Classes, mc)
 	}
 	sort.Slice(pred.Classes, func(i, j int) bool { return pred.Classes[i].Name < pred.Classes[j].Name })
 
+	weak, err := a.newWeakMerges(weakElems, find)
+	if err != nil {
+		return MergePrediction{}, err
+	}
+	pred.Weak = weak
+
+	// One phase context per phase, shared by the hard-class verdicts and
+	// the weak-merge dividers, so both see the identical conducting graph.
+	for _, p := range a.model.Phases {
+		pc := a.phaseContext(p, defectElems)
+		for i := range pred.Classes {
+			mc := &pred.Classes[i]
+			verdict, anchors := a.classVerdict(pc, mc.members, supply)
+			mc.Verdicts[p.Name] = verdict
+			mc.Anchors[p.Name] = anchors
+		}
+		if len(pred.Weak) > 0 {
+			fg := a.firmGraph(pc, find)
+			for i := range pred.Weak {
+				a.weakPhase(fg, &pred.Weak[i], p.Name, weakRatio)
+			}
+		}
+	}
+
 	// The no-float proof: re-run the role-aware floating prediction with
-	// the merge edges conducting. Merging only ever adds paths, so any
+	// every defect edge conducting (weak ones included — a resistive
+	// bridge still conducts DC). Merging only ever adds paths, so any
 	// non-empty result means the model itself is inconsistent.
-	pred.Floats = a.predictFloats(nil, merge)
+	pred.Floats = a.predictFloats(nil, defectElems)
 	return pred, nil
 }
 
@@ -213,92 +353,19 @@ func (a *Analyzer) supplyNodes() []bool {
 
 // classVerdict classifies one merged class in one phase from the
 // members' individual anchor sets, computed on the graph WITHOUT the
-// merge edges so each member's own drive is visible. Latch enablement is
-// resolved on the merged graph (the defect is present; a short can even
-// help a latch's rails connect), but latch channels are never traversed
-// — an enabled latch contributes its outputs as distinct anchors
-// instead, because a regenerating pair is a driver, not a wire.
-func (a *Analyzer) classVerdict(p Phase, members []int, merge map[string]bool, supply []bool) (ClassVerdict, []string) {
-	levels := a.levelsFor(p, nil)
-	_, latchOn := a.drivenWith(p, nil, nil, merge)
-
-	latchElem := map[string]bool{}
-	for _, l := range a.model.Latches {
-		for _, name := range l.Elements {
-			latchElem[name] = true
-		}
-	}
-
-	// Anchor identifiers per node: ground, source-held nets (their own
-	// name), and enabled-latch outputs ("latch:<net>").
-	anchors := make(map[int][]string)
-	anchors[0] = []string{circuit.Ground}
-	for _, e := range a.edges {
-		if e.kind != circuit.PathSource {
-			continue
-		}
-		for _, n := range []int{e.a, e.b} {
-			if n != 0 {
-				anchors[n] = append(anchors[n], a.ckt.NodeName(n))
-			}
-		}
-	}
-	for _, l := range a.model.Latches {
-		if !l.activeIn(p.Name) || !a.latchEnabled(l, latchOn) {
-			continue
-		}
-		rail := map[int]bool{}
-		for _, pair := range l.Requires {
-			for _, net := range pair[:] {
-				if idx, ok := a.ckt.NodeIndex(net); ok {
-					rail[idx] = true
-				}
-			}
-		}
-		elems := map[string]bool{}
-		for _, name := range l.Elements {
-			elems[name] = true
-		}
-		for _, e := range a.edges {
-			if !elems[e.elem] || e.kind != circuit.PathGated {
-				continue
-			}
-			for _, n := range []int{e.a, e.b} {
-				if n != 0 && !rail[n] {
-					anchors[n] = append(anchors[n], "latch:"+a.ckt.NodeName(n))
-				}
-			}
-		}
-	}
-
-	// The per-member traversal graph: passive conduction only. No merge
-	// edges (each member on its own), no source edges (voltage is
-	// imposed there, not conducted through), no latch channels (drivers,
-	// represented by their anchors).
-	keep := func(e edge) bool {
-		if merge[e.elem] || latchElem[e.elem] {
-			return false
-		}
-		switch e.kind {
-		case circuit.PathConductive:
-			return !a.cutOff(e)
-		case circuit.PathGated:
-			if latchOn[e.elem] {
-				return true
-			}
-			lvl, ok := levels[e.gate]
-			return ok && lvl == e.activeHigh
-		}
-		return false
-	}
-
+// defect edges so each member's own drive is visible. Latch enablement
+// is resolved on the merged graph (the defect is present; a short can
+// even help a latch's rails connect), but latch channels are never
+// traversed — an enabled latch contributes its outputs as distinct
+// anchors instead, because a regenerating pair is a driver, not a wire.
+func (a *Analyzer) classVerdict(pc *phaseCtx, members []int, supply []bool) (ClassVerdict, []string) {
 	sets := make([]map[string]bool, len(members))
 	for i, m := range members {
 		set := map[string]bool{}
-		reached := a.reach([]int{m}, keep)
+		reached := a.reach([]int{m}, pc.keep)
 		for n := 0; n < a.nodes; n++ {
 			if reached[n] {
-				for _, id := range anchors[n] {
+				for _, id := range pc.anchors[n] {
 					set[id] = true
 				}
 			}
@@ -397,34 +464,54 @@ func splitMergeName(name string) []string {
 	return out
 }
 
-// CheckMerges runs the merge analysis for one defect's elements and
-// renders the outcome as findings:
+// CheckMerges runs the merge analysis for one defect's elements (all
+// hard) and renders the outcome as findings; see CheckMergeSet.
+func (a *Analyzer) CheckMerges(mergeElems []string) lint.Findings {
+	spec := MergeSpec{}
+	for _, name := range mergeElems {
+		spec.Elems = append(spec.Elems, MergeElem{Name: name})
+	}
+	return a.CheckMergeSet(spec)
+}
+
+// CheckMergeSet runs the multi-defect merge analysis and renders the
+// outcome as findings:
 //
 //   - merge-supply-pair (error): a class contains two supply nets — a
-//     rail-to-rail short fighting in every phase. Unconditionally a
+//     rail-to-rail short fighting in every phase, including rail pairs
+//     joined only transitively by two defects. Unconditionally a
 //     netlist/defect-catalog red flag.
 //   - merge-float (error): the merged graph shows a floating group.
 //     Impossible for a pure merge; means the model is inconsistent.
 //   - merge-class (info): one finding per class summarizing the
 //     per-phase verdicts, so reports show what the defect does.
+//   - merge-weak (info): one finding per weak merge with its per-phase
+//     divider verdicts.
+//   - merge-weak-contested (warning): a weak merge has at least one
+//     weak-contested phase — an analog fight the stuck-at model cannot
+//     express; worth a human look.
 //
 // Analysis-setup failures (unknown element, no phases) are reported as
-// merge-analysis errors rather than returned, so CheckMerges composes
+// merge-analysis errors rather than returned, so the check composes
 // with lint drivers that aggregate findings.
-func (a *Analyzer) CheckMerges(mergeElems []string) lint.Findings {
-	pred, err := a.PredictMerges(mergeElems)
+func (a *Analyzer) CheckMergeSet(spec MergeSpec) lint.Findings {
+	pred, err := a.PredictMergeSet(spec)
 	if err != nil {
+		var names []string
+		for _, el := range spec.Elems {
+			names = append(names, el.Name)
+		}
 		return lint.Findings{{
 			Layer: "netlist", Rule: "merge-analysis", Severity: lint.Error,
-			Subject: fmt.Sprintf("%v", mergeElems), Message: err.Error(),
+			Subject: fmt.Sprintf("%v", names), Message: err.Error(),
 		}}
 	}
 	return pred.Findings()
 }
 
 // Findings renders the prediction as lint findings (the body of
-// CheckMerges, exposed so callers that already hold a prediction — e.g.
-// the analysis layer's catalog cross-check — need not re-run it).
+// CheckMergeSet, exposed so callers that already hold a prediction —
+// e.g. the analysis layer's catalog cross-check — need not re-run it).
 func (p MergePrediction) Findings() lint.Findings {
 	var out lint.Findings
 	for _, mc := range p.Classes {
@@ -444,6 +531,27 @@ func (p MergePrediction) Findings() lint.Findings {
 			Subject: mc.Name,
 			Message: fmt.Sprintf("nets %v become one electrical node; per-phase: %v", mc.Nets, perPhase),
 		})
+	}
+	for _, wm := range p.Weak {
+		var perPhase, contested []string
+		for _, phase := range p.Phases {
+			perPhase = append(perPhase, fmt.Sprintf("%s:%s", phase, wm.Verdicts[phase]))
+			if wm.Verdicts[phase] == VerdictWeakContested {
+				contested = append(contested, phase)
+			}
+		}
+		out = append(out, lint.Finding{
+			Layer: "netlist", Rule: "merge-weak", Severity: lint.Info,
+			Subject: wm.Elem,
+			Message: fmt.Sprintf("%.3g Ω bridge %s–%s below cutoff forms a divider; per-phase: %v", wm.Ohms, wm.A.Net, wm.B.Net, perPhase),
+		})
+		if len(contested) > 0 {
+			out = append(out, lint.Finding{
+				Layer: "netlist", Rule: "merge-weak-contested", Severity: lint.Warning,
+				Subject: wm.Elem,
+				Message: fmt.Sprintf("weak bridge %s–%s is contested in phases %v: comparable drive on both sides, the resolved voltage depends on the actual resistances", wm.A.Net, wm.B.Net, contested),
+			})
+		}
 	}
 	if len(p.Floats.Primary) > 0 || len(p.Floats.Secondary) > 0 {
 		out = append(out, lint.Finding{

@@ -1,0 +1,235 @@
+package netlint_test
+
+// Property tests for the merge prover: its output is a function of the
+// circuit graph and the defect SET, so it must be invariant under
+// permutation of the defect-element order and under relabeling of the
+// netlist — both the order elements are Added to the circuit (which
+// permutes internal node indices) and the net names themselves (which
+// only affect display strings, consistently).
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
+
+// samePrediction deep-compares two merge predictions, treating NaN
+// voltages as equal to each other.
+func samePrediction(t *testing.T, label string, a, b netlint.MergePrediction) {
+	t.Helper()
+	eqF := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return math.IsNaN(x) && math.IsNaN(y)
+		}
+		return math.Abs(x-y) <= 1e-12
+	}
+	if len(a.Classes) != len(b.Classes) {
+		t.Fatalf("%s: class count %d vs %d", label, len(a.Classes), len(b.Classes))
+	}
+	for i := range a.Classes {
+		ca, cb := a.Classes[i], b.Classes[i]
+		if ca.Name != cb.Name {
+			t.Errorf("%s: class[%d] name %q vs %q", label, i, ca.Name, cb.Name)
+			continue
+		}
+		if !equalStrings(ca.Supplies, cb.Supplies) {
+			t.Errorf("%s: class %s supplies %v vs %v", label, ca.Name, ca.Supplies, cb.Supplies)
+		}
+		for _, ph := range a.Phases {
+			if ca.Verdicts[ph] != cb.Verdicts[ph] {
+				t.Errorf("%s: class %s phase %s verdict %s vs %s", label, ca.Name, ph, ca.Verdicts[ph], cb.Verdicts[ph])
+			}
+			if !equalStrings(ca.Anchors[ph], cb.Anchors[ph]) {
+				t.Errorf("%s: class %s phase %s anchors %v vs %v", label, ca.Name, ph, ca.Anchors[ph], cb.Anchors[ph])
+			}
+		}
+	}
+	if len(a.Weak) != len(b.Weak) {
+		t.Fatalf("%s: weak count %d vs %d", label, len(a.Weak), len(b.Weak))
+	}
+	for i := range a.Weak {
+		wa, wb := a.Weak[i], b.Weak[i]
+		if wa.Elem != wb.Elem || wa.A.Net != wb.A.Net || wa.B.Net != wb.B.Net {
+			t.Errorf("%s: weak[%d] identity (%s %s–%s) vs (%s %s–%s)",
+				label, i, wa.Elem, wa.A.Net, wa.B.Net, wb.Elem, wb.A.Net, wb.B.Net)
+			continue
+		}
+		for _, ph := range a.Phases {
+			if wa.Verdicts[ph] != wb.Verdicts[ph] {
+				t.Errorf("%s: weak %s phase %s verdict %s vs %s", label, wa.Elem, ph, wa.Verdicts[ph], wb.Verdicts[ph])
+			}
+			va, vb := wa.Volts[ph], wb.Volts[ph]
+			if !eqF(va[0], vb[0]) || !eqF(va[1], vb[1]) {
+				t.Errorf("%s: weak %s phase %s volts %v vs %v", label, wa.Elem, ph, va, vb)
+			}
+		}
+	}
+	if !equalStrings(a.Floats.Primary, b.Floats.Primary) ||
+		!equalStrings(a.Floats.Secondary, b.Floats.Secondary) ||
+		!equalStrings(a.Floats.Unknown, b.Floats.Unknown) {
+		t.Errorf("%s: floats %+v vs %+v", label, a.Floats, b.Floats)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reverseSpec returns the spec with its element order reversed.
+func reverseSpec(spec netlint.MergeSpec) netlint.MergeSpec {
+	out := spec
+	out.Elems = make([]netlint.MergeElem, len(spec.Elems))
+	for i, el := range spec.Elems {
+		out.Elems[len(spec.Elems)-1-i] = el
+	}
+	return out
+}
+
+// TestPredictMergeSetPermutationInvariant sweeps the full scenario
+// catalog: reversing the defect-element order must not change a single
+// verdict, anchor set, or divider voltage.
+func TestPredictMergeSetPermutationInvariant(t *testing.T) {
+	az := columnAnalyzer(t)
+	for _, sc := range defect.MergeScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			var spec netlint.MergeSpec
+			for _, s := range sc.Sites {
+				spec.Elems = append(spec.Elems, netlint.MergeElem{Name: dram.SiteElementName(s.Site), Ohms: s.Ohms})
+			}
+			fwd, err := az.PredictMergeSet(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev, err := az.PredictMergeSet(reverseSpec(spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePrediction(t, "reversed element order", fwd, rev)
+		})
+	}
+}
+
+// railPairModel is the transitive rail-pair fixture, parameterized over
+// net names and circuit Add order so the relabeling properties can
+// build structurally identical graphs with different internals.
+func railPairModel(rename func(string) string, shuffled bool) *netlint.Analyzer {
+	r := rename
+	ckt := circuit.New()
+	node := func(n string) int { return ckt.Node(r(n)) }
+	steps := []func(){
+		func() { ckt.MustAdd(device.NewVSource("V1", node("vdd"), 0, device.DC(3.3))) },
+		func() { ckt.MustAdd(device.NewResistor("R_load", node("vdd"), node("out"), 1e3)) },
+		func() { ckt.MustAdd(device.NewResistor("R_gnd", node("out"), 0, 1e3)) },
+		func() { ckt.MustAdd(device.NewResistor("R_s1", node("vdd"), node("mid"), 10)) },
+		func() { ckt.MustAdd(device.NewResistor("R_s2", node("mid"), 0, 10)) },
+		func() { ckt.MustAdd(device.NewResistor("R_weak", node("out"), node("vdd"), 1.5e3)) },
+	}
+	if shuffled {
+		// A fixed permutation: element addition order is unconstrained,
+		// so any order is legal.
+		for _, i := range []int{5, 2, 4, 0, 3, 1} {
+			steps[i]()
+		}
+	} else {
+		for _, s := range steps {
+			s()
+		}
+	}
+	ckt.Freeze()
+	return netlint.New(ckt, netlint.Model{
+		Phases:     []netlint.Phase{{Name: "on"}},
+		Roles:      map[string][]string{r("out"): {"on"}, r("mid"): {"on"}},
+		CutoffOhms: 1e9,
+		NetVolts:   map[string]float64{r("vdd"): 3.3},
+	})
+}
+
+// TestPredictMergeSetAddOrderInvariant builds the same circuit twice
+// with different element Add orders (which permutes node indices) and
+// requires byte-identical predictions.
+func TestPredictMergeSetAddOrderInvariant(t *testing.T) {
+	id := func(s string) string { return s }
+	spec := netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: "R_s1"}, {Name: "R_s2"}, {Name: "R_weak", Ohms: 1.5e3},
+	}}
+	a, err := railPairModel(id, false).PredictMergeSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := railPairModel(id, true).PredictMergeSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePrediction(t, "shuffled Add order", a, b)
+}
+
+// TestPredictMergeSetRenameInvariant renames every non-ground net with
+// an order-reversing prefix and requires the same verdict structure:
+// net names are labels, not semantics. (Class and anchor strings change
+// with the renaming, so the comparison maps them through it.)
+func TestPredictMergeSetRenameInvariant(t *testing.T) {
+	rename := func(s string) string { return "z_" + s }
+	spec := netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: "R_s1"}, {Name: "R_s2"}, {Name: "R_weak", Ohms: 1.5e3},
+	}}
+	plain, err := railPairModel(func(s string) string { return s }, false).PredictMergeSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, err := railPairModel(rename, false).PredictMergeSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Classes) != len(renamed.Classes) || len(plain.Weak) != len(renamed.Weak) {
+		t.Fatalf("shape differs under renaming: %d/%d classes, %d/%d weak",
+			len(plain.Classes), len(renamed.Classes), len(plain.Weak), len(renamed.Weak))
+	}
+	for i := range plain.Classes {
+		ca, cb := plain.Classes[i], renamed.Classes[i]
+		for _, ph := range plain.Phases {
+			if ca.Verdicts[ph] != cb.Verdicts[ph] {
+				t.Errorf("class %s vs %s phase %s: verdict %s vs %s", ca.Name, cb.Name, ph, ca.Verdicts[ph], cb.Verdicts[ph])
+			}
+		}
+		for j, n := range ca.Nets {
+			want := n
+			if n != "0" {
+				want = rename(n)
+			}
+			if cb.Nets[j] != want {
+				t.Errorf("class member %q renames to %q, want %q", n, cb.Nets[j], want)
+			}
+		}
+	}
+	for i := range plain.Weak {
+		wa, wb := plain.Weak[i], renamed.Weak[i]
+		if rename(wa.A.Net) != wb.A.Net && wa.A.Net != wb.A.Net {
+			t.Errorf("weak endpoint %q vs %q under renaming", wa.A.Net, wb.A.Net)
+		}
+		for _, ph := range plain.Phases {
+			if wa.Verdicts[ph] != wb.Verdicts[ph] {
+				t.Errorf("weak %s phase %s: verdict %s vs %s under renaming", wa.Elem, ph, wa.Verdicts[ph], wb.Verdicts[ph])
+			}
+			va, vb := wa.Volts[ph], wb.Volts[ph]
+			for k := range va {
+				if !(math.IsNaN(va[k]) && math.IsNaN(vb[k])) && math.Abs(va[k]-vb[k]) > 1e-12 {
+					t.Errorf("weak %s phase %s volts %v vs %v under renaming", wa.Elem, ph, va, vb)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package netlint_test
+
+// Multi-defect and weak-merge prover tests: transitive contraction
+// across simultaneous defects, rail-pair detection, the weak divider
+// verdicts on circuits small enough to solve by hand, and the MergeSpec
+// validation surface.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/circuit"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/device"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/netlint"
+)
+
+// dividerCircuit is the shared synthetic fixture: a 3.3 V rail feeding
+// a symmetric 1 kΩ / 1 kΩ divider at "out" (own drive 2 mS, open-circuit
+// 1.65 V), plus a bridge element of the given resistance from out to the
+// rail and a pair of capacitor-only nets x–y joined by R_iso.
+func dividerCircuit(t *testing.T, bridgeOhms float64) *netlint.Analyzer {
+	t.Helper()
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	out := ckt.Node("out")
+	x := ckt.Node("x")
+	y := ckt.Node("y")
+	ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(3.3)))
+	ckt.MustAdd(device.NewResistor("R_a", vdd, out, 1e3))
+	ckt.MustAdd(device.NewResistor("R_b", out, 0, 1e3))
+	ckt.MustAdd(device.NewResistor("R_weak", out, vdd, bridgeOhms))
+	ckt.MustAdd(device.NewCapacitor("C_x", x, 0, 1e-15))
+	ckt.MustAdd(device.NewCapacitor("C_y", y, 0, 1e-15))
+	ckt.MustAdd(device.NewResistor("R_iso", x, y, 5e4))
+	ckt.Freeze()
+	return netlint.New(ckt, netlint.Model{
+		Phases:     []netlint.Phase{{Name: "on"}},
+		Roles:      map[string][]string{"out": {"on"}},
+		CutoffOhms: 1e9,
+		NetVolts:   map[string]float64{"vdd": 3.3},
+	})
+}
+
+// TestPredictMergeSetTransitiveRailPair proves the core multi-defect
+// property: two shorts, each individually benign (vdd–mid and mid–gnd),
+// transitively contract both rails into one class that no single-defect
+// analysis can see, and CheckMergeSet reports the supply pair at error
+// severity.
+func TestPredictMergeSetTransitiveRailPair(t *testing.T) {
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	mid := ckt.Node("mid")
+	out := ckt.Node("out")
+	ckt.MustAdd(device.NewVSource("V1", vdd, 0, device.DC(3.3)))
+	ckt.MustAdd(device.NewResistor("R_load", vdd, out, 1e3))
+	ckt.MustAdd(device.NewResistor("R_gnd", out, 0, 1e3))
+	ckt.MustAdd(device.NewResistor("R_s1", vdd, mid, 10))
+	ckt.MustAdd(device.NewResistor("R_s2", mid, 0, 10))
+	ckt.Freeze()
+	az := netlint.New(ckt, netlint.Model{
+		Phases: []netlint.Phase{{Name: "on"}},
+		Roles:  map[string][]string{"out": {"on"}, "mid": {"on"}},
+	})
+
+	spec := netlint.MergeSpec{Elems: []netlint.MergeElem{{Name: "R_s1"}, {Name: "R_s2"}}}
+	pred, err := az.PredictMergeSet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Classes) != 1 {
+		t.Fatalf("got %d classes, want 1 transitive class: %+v", len(pred.Classes), pred.Classes)
+	}
+	mc := pred.Classes[0]
+	if mc.Name != "0=mid=vdd" {
+		t.Errorf("class = %q, want 0=mid=vdd", mc.Name)
+	}
+	if len(mc.Supplies) != 2 {
+		t.Errorf("supplies = %v, want both rails", mc.Supplies)
+	}
+
+	fs := az.CheckMergeSet(spec)
+	if n := len(fs.ByRule("merge-supply-pair")); n != 1 {
+		t.Fatalf("merge-supply-pair findings = %d, want 1: %v", n, fs)
+	}
+	if fs.Count(lint.Error) == 0 {
+		t.Error("a transitively merged rail pair must be an error-severity finding")
+	}
+
+	// Each short alone must NOT produce the rail pair — the property is
+	// genuinely transitive.
+	for _, elem := range []string{"R_s1", "R_s2"} {
+		single, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{{Name: elem}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mc := range single.Classes {
+			if len(mc.Supplies) > 1 {
+				t.Errorf("%s alone already merges supplies %v; the pair test is vacuous", elem, mc.Supplies)
+			}
+		}
+	}
+}
+
+// TestPredictMergeSetColumnDouble pins the double-defect contraction on
+// the real column: the cell-ground short and the cell-cell bridge
+// together pull both storage nodes and ground into one transitive
+// class.
+func TestPredictMergeSetColumnDouble(t *testing.T) {
+	az := columnAnalyzer(t)
+	pred, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: dram.SiteElementName(dram.SiteShortCellGnd)},
+		{Name: dram.SiteElementName(dram.SiteBridgeCells)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Classes) != 1 || pred.Classes[0].Name != "0=c0s=c1s" {
+		t.Fatalf("classes = %+v, want the single transitive class 0=c0s=c1s", pred.Classes)
+	}
+	if s := pred.Classes[0].Supplies; len(s) != 1 || s[0] != "0" {
+		t.Errorf("supplies = %v, want [0]", s)
+	}
+	if got := pred.Classes[0].Verdicts["precharge"]; got != netlint.VerdictStuck {
+		t.Errorf("precharge verdict = %s, want stuck", got)
+	}
+	if len(pred.Floats.Primary)+len(pred.Floats.Secondary)+len(pred.Floats.Unknown) != 0 {
+		t.Errorf("double defect predicts floats %+v; merges must not create floating voltages", pred.Floats)
+	}
+}
+
+// TestWeakDividerVerdicts checks the weak-merge analysis against
+// hand-solved circuits: the 1.5 kΩ bridge is within the weak ratio of
+// the divider's own 2 mS drive (contested, loaded voltage exactly
+// 2.0625 V), the 20 kΩ bridge is dominated (driven, 1.690 V), and a
+// bridge between two capacitor-only nets is isolated.
+func TestWeakDividerVerdicts(t *testing.T) {
+	cases := []struct {
+		name       string
+		bridgeOhms float64
+		verdict    netlint.ClassVerdict
+		voltA      float64 // loaded voltage at "out"; NaN = unchecked
+	}{
+		{"contested", 1.5e3, netlint.VerdictWeakContested, 2.0625},
+		{"driven", 2e4, netlint.VerdictWeakDriven, 3.465e-3 / 2.05e-3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			az := dividerCircuit(t, tc.bridgeOhms)
+			pred, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+				{Name: "R_weak", Ohms: tc.bridgeOhms},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pred.Weak) != 1 || len(pred.Classes) != 0 {
+				t.Fatalf("weak=%d classes=%d, want exactly one weak merge and no hard class", len(pred.Weak), len(pred.Classes))
+			}
+			wm := pred.Weak[0]
+			if got := wm.Verdicts["on"]; got != tc.verdict {
+				t.Errorf("verdict = %s, want %s (A: G=%.3g V=%.3g, B: G=%.3g V=%.3g)",
+					got, tc.verdict,
+					wm.A.Conductance["on"], wm.A.Volts["on"],
+					wm.B.Conductance["on"], wm.B.Volts["on"])
+			}
+			outIdx := 0
+			if wm.A.Net != "out" {
+				outIdx = 1
+			}
+			if got := wm.Volts["on"][outIdx]; math.Abs(got-tc.voltA) > 1e-9 {
+				t.Errorf("loaded V(out) = %.6f, want %.6f (exact nodal solution)", got, tc.voltA)
+			}
+		})
+	}
+
+	// The capacitor-only pair: neither side reaches an anchor, so the
+	// bridge resolves nothing — isolated, with NaN voltages.
+	az := dividerCircuit(t, 1.5e3)
+	pred, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: "R_iso", Ohms: 5e4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := pred.Weak[0]
+	if got := wm.Verdicts["on"]; got != netlint.VerdictIsolated {
+		t.Errorf("capacitor-only bridge verdict = %s, want isolated", got)
+	}
+	if v := wm.Volts["on"]; !math.IsNaN(v[0]) || !math.IsNaN(v[1]) {
+		t.Errorf("isolated bridge voltages = %v, want NaN pair", v)
+	}
+}
+
+// TestWeakContestedFinding checks the findings surface: a contested
+// divider yields the merge-weak info line plus the merge-weak-contested
+// warning, and a dominated one yields only the info line.
+func TestWeakContestedFinding(t *testing.T) {
+	az := dividerCircuit(t, 1.5e3)
+	fs := az.CheckMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{{Name: "R_weak", Ohms: 1.5e3}}})
+	if len(fs.ByRule("merge-weak")) != 1 {
+		t.Errorf("want one merge-weak info finding: %v", fs)
+	}
+	if len(fs.ByRule("merge-weak-contested")) != 1 {
+		t.Errorf("want one merge-weak-contested warning: %v", fs)
+	}
+
+	az = dividerCircuit(t, 2e4)
+	fs = az.CheckMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{{Name: "R_weak", Ohms: 2e4}}})
+	if len(fs.ByRule("merge-weak")) != 1 {
+		t.Errorf("want one merge-weak info finding: %v", fs)
+	}
+	if len(fs.ByRule("merge-weak-contested")) != 0 {
+		t.Errorf("dominated divider must not warn: %v", fs)
+	}
+}
+
+// TestMergeSpecValidation covers the spec-level error surface.
+func TestMergeSpecValidation(t *testing.T) {
+	az := columnAnalyzer(t)
+	short := dram.SiteElementName(dram.SiteShortCellGnd)
+
+	if _, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: short}, {Name: short},
+	}}); err == nil {
+		t.Error("duplicate elements must be an error")
+	}
+	if _, err := az.PredictMergeSet(netlint.MergeSpec{Elems: []netlint.MergeElem{
+		{Name: short, Ohms: 1e12},
+	}}); err == nil {
+		t.Error("a bridge at or above the conductive cutoff is an open, not a merge; must be an error")
+	}
+	if _, err := az.PredictMergeSet(netlint.MergeSpec{}); err == nil {
+		t.Error("an empty element set must be an error")
+	}
+}
+
+// TestParseVerdictRoundTrip: ParseVerdict must invert String for every
+// verdict — the catalog declares verdicts as strings, and the
+// differential tests depend on the bijection.
+func TestParseVerdictRoundTrip(t *testing.T) {
+	all := []netlint.ClassVerdict{
+		netlint.VerdictIsolated, netlint.VerdictDriven, netlint.VerdictStuck,
+		netlint.VerdictContested, netlint.VerdictWeakDriven, netlint.VerdictWeakContested,
+	}
+	for _, v := range all {
+		got, err := netlint.ParseVerdict(v.String())
+		if err != nil {
+			t.Errorf("ParseVerdict(%q): %v", v.String(), err)
+			continue
+		}
+		if got != v {
+			t.Errorf("ParseVerdict(%q) = %v, want %v", v.String(), got, v)
+		}
+	}
+	if _, err := netlint.ParseVerdict("no-such-verdict"); err == nil {
+		t.Error("unknown verdict string must be an error")
+	}
+}
+
+// TestMergeScenarioCatalogShape sanity-checks the catalog the
+// differential harness sweeps: at least two multi-defect entries, at
+// least two weak entries, and every entry convertible to a MergeSpec
+// the prover accepts.
+func TestMergeScenarioCatalogShape(t *testing.T) {
+	az := columnAnalyzer(t)
+	multi, weakN := 0, 0
+	for _, sc := range defect.MergeScenarios() {
+		if len(sc.Sites) > 1 {
+			multi++
+		}
+		if len(sc.Weak) > 0 {
+			weakN++
+		}
+		var spec netlint.MergeSpec
+		for _, s := range sc.Sites {
+			spec.Elems = append(spec.Elems, netlint.MergeElem{Name: dram.SiteElementName(s.Site), Ohms: s.Ohms})
+		}
+		if _, err := az.PredictMergeSet(spec); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+	if multi < 2 {
+		t.Errorf("catalog has %d multi-defect scenarios, want ≥2", multi)
+	}
+	if weakN < 2 {
+		t.Errorf("catalog has %d weak scenarios, want ≥2", weakN)
+	}
+}

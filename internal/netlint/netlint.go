@@ -70,6 +70,17 @@ type Model struct {
 	// CutoffOhms is the resistance above which a conductive branch is
 	// treated as disconnected. Zero means no branch is ever cut off.
 	CutoffOhms float64
+	// OnOhms is the nominal on-resistance assumed for a conducting gated
+	// channel when the weak-merge analysis stamps the firm conduction
+	// graph (a logic-level abstraction cannot know channel operating
+	// points, so one representative value stands in for all of them).
+	// Zero means a 1 kΩ default.
+	OnOhms float64
+	// NetVolts maps source-held net names to the DC voltage their source
+	// imposes, so weak-merge divider voltages can be predicted
+	// numerically. Nets absent here have unknown (NaN) anchor voltage;
+	// weak verdicts are still computed from conductances alone.
+	NetVolts map[string]float64
 }
 
 // Analyzer performs static analyses over one circuit.

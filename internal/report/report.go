@@ -7,6 +7,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"github.com/memtest/partialfaults/internal/analysis"
@@ -163,10 +164,11 @@ func WriteCoverage(w io.Writer, results []march.CoverageResult, tests []string) 
 }
 
 // WriteMergePrediction renders the net-merge prover's verdict table:
-// one block per merged class with its supplies and per-phase verdicts,
-// then the floating prediction on the contracted graph. For shorts and
-// bridges the float lines read "(none)" — the static form of the
-// paper's Section 2 negative result.
+// one block per hard-merged class with its supplies and per-phase
+// verdicts, one block per weak (sub-cutoff resistive) bridge with its
+// divider voltages and side drives, then the floating prediction on the
+// contracted graph. For shorts and bridges the float lines read
+// "(none)" — the static form of the paper's Section 2 negative result.
 func WriteMergePrediction(w io.Writer, p netlint.MergePrediction) error {
 	if _, err := fmt.Fprintf(w, "merging element(s): %s\n", strings.Join(p.Elems, ", ")); err != nil {
 		return err
@@ -178,6 +180,22 @@ func WriteMergePrediction(w io.Writer, p netlint.MergePrediction) error {
 		for _, ph := range p.Phases {
 			if _, err := fmt.Fprintf(w, "  %-10s %-10s anchors: %s\n",
 				ph, mc.Verdicts[ph], joinOrNone(mc.Anchors[ph])); err != nil {
+				return err
+			}
+		}
+	}
+	for _, wm := range p.Weak {
+		if _, err := fmt.Fprintf(w, "weak bridge %s (%.3g Ω): %s – %s\n",
+			wm.Elem, wm.Ohms, wm.A.Net, wm.B.Net); err != nil {
+			return err
+		}
+		for _, ph := range p.Phases {
+			v := wm.Volts[ph]
+			if _, err := fmt.Fprintf(w, "  %-10s %-15s V = %s / %s  drive: %s / %s S  anchors: %s | %s\n",
+				ph, wm.Verdicts[ph],
+				fmtVolt(v[0]), fmtVolt(v[1]),
+				fmtCond(wm.A.Conductance[ph]), fmtCond(wm.B.Conductance[ph]),
+				joinOrNone(wm.A.Anchors[ph]), joinOrNone(wm.B.Anchors[ph])); err != nil {
 				return err
 			}
 		}
@@ -197,6 +215,24 @@ func joinOrNone(ss []string) string {
 		return "(none)"
 	}
 	return strings.Join(ss, ", ")
+}
+
+// fmtVolt renders a divider voltage; NaN means an involved anchor's
+// voltage is data-dependent (a latch output) or undeclared.
+func fmtVolt(v float64) string {
+	if math.IsNaN(v) {
+		return "?"
+	}
+	return fmt.Sprintf("%.3f V", v)
+}
+
+// fmtCond renders a Thevenin drive conductance; +Inf marks an ideally
+// anchored endpoint, 0 one that holds charge only.
+func fmtCond(g float64) string {
+	if math.IsInf(g, 1) {
+		return "ideal"
+	}
+	return fmt.Sprintf("%.3g", g)
 }
 
 // WriteFindings renders static-analysis findings grouped by layer, one

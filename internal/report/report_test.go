@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/lint"
 	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/netlint"
 )
 
 func testPlane() *analysis.Plane {
@@ -142,5 +144,59 @@ func TestWriteFindings(t *testing.T) {
 	}
 	if !strings.Contains(out, "(1 below the reporting threshold)") {
 		t.Errorf("filtered summary should count hidden findings:\n%s", out)
+	}
+}
+
+// WriteMergePrediction must render all three sections: hard classes
+// with per-phase verdicts, weak bridges with divider voltages (NaN as
+// "?", ideal anchoring as "ideal"), and the float lines.
+func TestWriteMergePrediction(t *testing.T) {
+	pred := netlint.MergePrediction{
+		Elems:  []string{"R_short", "R_weak"},
+		Phases: []string{"on", "off"},
+		Classes: []netlint.MergedClass{{
+			Nets: []string{"0", "c0s"}, Name: "0=c0s", Supplies: []string{"0"},
+			Verdicts: map[string]netlint.ClassVerdict{"on": netlint.VerdictContested, "off": netlint.VerdictStuck},
+			Anchors:  map[string][]string{"on": {"0", "latch:btS"}, "off": {"0"}},
+		}},
+		Weak: []netlint.WeakMerge{{
+			Elem: "R_weak", Ohms: 1.5e3,
+			A: netlint.WeakSide{
+				Net:         "out",
+				Anchors:     map[string][]string{"on": {"0", "vdd"}, "off": nil},
+				Conductance: map[string]float64{"on": 2e-3, "off": 0},
+				Volts:       map[string]float64{"on": 1.65, "off": math.NaN()},
+			},
+			B: netlint.WeakSide{
+				Net:         "vdd",
+				Anchors:     map[string][]string{"on": {"vdd"}, "off": {"vdd"}},
+				Conductance: map[string]float64{"on": math.Inf(1), "off": math.Inf(1)},
+				Volts:       map[string]float64{"on": 3.3, "off": 3.3},
+			},
+			Verdicts: map[string]netlint.ClassVerdict{"on": netlint.VerdictWeakContested, "off": netlint.VerdictWeakDriven},
+			Volts: map[string][2]float64{
+				"on":  {2.0625, 3.3},
+				"off": {3.3, 3.3},
+			},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMergePrediction(&buf, pred); err != nil {
+		t.Fatalf("WriteMergePrediction: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"R_short, R_weak",
+		"class 0=c0s (supplies: 0)",
+		"contested", "stuck",
+		"weak bridge R_weak (1.5e+03 Ω): out – vdd",
+		"weak-contested", "weak-driven",
+		"2.062 V", "ideal", "0.002",
+		"anchors: 0, vdd | vdd",
+		"primary floats:   (none)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge prediction missing %q:\n%s", want, out)
+		}
 	}
 }
