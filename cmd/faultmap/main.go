@@ -10,6 +10,11 @@
 //
 // The -sos flag accepts either a bare SOS ("1r1", "1v [w0BL] r1v") or a
 // full fault primitive whose S part is used.
+//
+// -twocell "March C-" (or "all") prints the two-cell coverage
+// certificate for the named march test on a 4×2 array: the static
+// completion pre-pass checked against the exhaustive coupling-fault
+// simulation.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"github.com/memtest/partialfaults/internal/dram"
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/lint"
+	"github.com/memtest/partialfaults/internal/march"
 	"github.com/memtest/partialfaults/internal/netlint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
@@ -46,6 +52,7 @@ func main() {
 		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
 		defSite   = flag.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
+		twoCell   = flag.String("twocell", "", "march test name (or \"all\") whose two-cell coverage certificate to print; exits nonzero on an unsound certificate")
 	)
 	flag.Parse()
 
@@ -53,6 +60,10 @@ func main() {
 		preflight()
 	}
 
+	if *twoCell != "" {
+		twoCellCertificates(*twoCell)
+		return
+	}
 	if *defSite != "" {
 		predictMerge(*defSite)
 		return
@@ -184,6 +195,45 @@ func predictMerge(arg string) {
 	}
 	if err := report.WriteMergePrediction(os.Stdout, pred); err != nil {
 		fatalf("predict: %v", err)
+	}
+}
+
+// twoCellCertificates prints the two-cell coverage certificate for the
+// named march test ("all" for the whole library) on a 4×2 array: every
+// catalog coupling fault's simulated detection verdict side by side
+// with the static completion pre-pass, plus the soundness check that no
+// statically proved miss was caught dynamically.
+func twoCellCertificates(name string) {
+	var tests []march.Test
+	if name == "all" {
+		tests = march.All()
+	} else {
+		for _, t := range march.All() {
+			if t.Name == name {
+				tests = []march.Test{t}
+				break
+			}
+		}
+		if len(tests) == 0 {
+			fatalf("unknown march test %q; use \"all\" or one of the library names", name)
+		}
+	}
+	unsound := false
+	for _, t := range tests {
+		cert, err := march.TwoCellCertificateFor(t, march.TwoCellCatalog(), 4, 2)
+		if err != nil {
+			fatalf("twocell: %v", err)
+		}
+		if err := report.WriteTwoCellCoverage(os.Stdout, cert); err != nil {
+			fatalf("twocell: %v", err)
+		}
+		fmt.Println()
+		if len(cert.Violations()) > 0 {
+			unsound = true
+		}
+	}
+	if unsound {
+		fatalf("twocell: at least one certificate is unsound")
 	}
 }
 

@@ -8,6 +8,7 @@
 //	marchsim -test "March PF"            # one test against the catalog
 //	marchsim -test custom -notation "{m(w0); u(r0,w1); d(r1,w0)}"
 //	marchsim -fault "<1v [w0BL] r1v/0/0>" -float "Bit line"
+//	marchsim -test "March C-" -twocell    # two-cell coverage certificate
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 		floatVar = flag.String("float", "Bit line", "mediating floating voltage for a partial -fault")
 		rows     = flag.Int("rows", 4, "array rows")
 		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
-		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-pass before simulating")
+		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-passes before simulating")
+		twoCell  = flag.Bool("twocell", false, "emit the two-cell coverage certificate (static pre-pass checked against the exhaustive coupling-fault simulation) instead of the single-cell matrix")
 	)
 	flag.Parse()
 
@@ -78,6 +80,7 @@ func main() {
 	if *doLint {
 		findings := march.LintAll(tests)
 		findings = append(findings, march.CompletionPrePass(tests, catalog)...)
+		findings = append(findings, march.TwoCellCompletionPrePass(tests, march.TwoCellCatalog())...)
 		findings.Sort()
 		if err := report.WriteFindings(os.Stdout, findings, lint.Info); err != nil {
 			fatalf("lint: %v", err)
@@ -86,6 +89,27 @@ func main() {
 		if findings.Count(lint.Error) > 0 {
 			fatalf("lint: the selected tests are statically broken; not simulating")
 		}
+	}
+
+	if *twoCell {
+		unsound := false
+		for _, t := range tests {
+			cert, err := march.TwoCellCertificateFor(t, march.TwoCellCatalog(), *rows, *cols)
+			if err != nil {
+				fatalf("twocell: %v", err)
+			}
+			if err := report.WriteTwoCellCoverage(os.Stdout, cert); err != nil {
+				fatalf("report: %v", err)
+			}
+			fmt.Println()
+			if len(cert.Violations()) > 0 {
+				unsound = true
+			}
+		}
+		if unsound {
+			fatalf("twocell: at least one certificate is unsound")
+		}
+		return
 	}
 
 	results, err := march.CoverageMatrix(tests, catalog, *rows, *cols)

@@ -91,7 +91,6 @@ func lintRepo(root string) (lint.Findings, error) {
 	if err != nil {
 		return nil, err
 	}
-	out = append(out, march.CompletionPrePass(march.All(), march.PaperFaultCatalog())...)
 	gofs, err := golint.Run(golint.DefaultConfig(root))
 	if err != nil {
 		return nil, err
@@ -103,10 +102,11 @@ func lintRepo(root string) (lint.Findings, error) {
 
 // seededBadFindings lints intentionally broken inputs — a netlist with
 // a floating net and a voltage-source loop, a march test that can never
-// pass on a healthy memory, a technology with unphysical parameters, a
-// rail-to-rail short, a transitive double short joining both rails only
-// through an intermediate net, and a weak resistive bridge forming a
-// contested divider — proving the analyzers can fail.
+// pass on a healthy memory, a march test that provably misses coupling
+// faults, a technology with unphysical parameters, a rail-to-rail
+// short, a transitive double short joining both rails only through an
+// intermediate net, and a weak resistive bridge forming a contested
+// divider — proving the analyzers can fail.
 func seededBadFindings() lint.Findings {
 	ckt := circuit.New()
 	vdd := ckt.Node("vdd")
@@ -122,6 +122,18 @@ func seededBadFindings() lint.Findings {
 		{Order: march.Up, Ops: []march.Op{march.R(1), march.W(0)}}, // reads 1, stores 0
 	}}
 	out = append(out, march.Lint(bad)...)
+
+	// A structurally clean march test that provably misses coupling
+	// faults: without any non-transition write it can never perform the
+	// aggressor condition of a non-transition CFds, which the two-cell
+	// completion pre-pass proves statically.
+	missesCFds := march.Test{Name: "seeded-cfds-miss", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(0)}},
+		{Order: march.Up, Ops: []march.Op{march.R(0), march.W(1)}},
+		{Order: march.Down, Ops: []march.Op{march.R(1), march.W(0)}},
+		{Order: march.Any, Ops: []march.Op{march.R(0)}},
+	}}
+	out = append(out, march.TwoCellCompletionPrePass([]march.Test{missesCFds}, march.TwoCellCatalog())...)
 
 	badTech := dram.Default()
 	badTech.CCell = -30e-15       // negative capacitance

@@ -16,9 +16,12 @@ import (
 // before any transient simulation: the technology-parameter range lint,
 // the netlist structural proofs (floating nets, MNA solvability) and
 // phase-model verification, the per-open floating-line cross-check
-// against the defect package's Table 1 inventory, and the march-test
-// lint. A finding at error severity means the pipeline's inputs are
-// inconsistent and its results would be untrustworthy.
+// against the defect package's Table 1 inventory, the march-test lint,
+// and both completion pre-passes (single-cell and two-cell), whose
+// informational findings tell a coverage run which (test, fault) pairs
+// are statically proved undetectable and need no simulation. A finding
+// at error severity means the pipeline's inputs are inconsistent and
+// its results would be untrustworthy.
 func Preflight(tech dram.Technology) (lint.Findings, error) {
 	techFindings := dram.LintTechnology(tech)
 	if techFindings.Count(lint.Error) > 0 {
@@ -37,6 +40,8 @@ func Preflight(tech dram.Technology) (lint.Findings, error) {
 	out = append(out, CrossCheckShortsBridges(az)...)
 	out = append(out, CrossCheckMergeScenarios(az)...)
 	out = append(out, march.LintAll(march.All())...)
+	out = append(out, march.CompletionPrePass(march.All(), march.PaperFaultCatalog())...)
+	out = append(out, march.TwoCellCompletionPrePass(march.All(), march.TwoCellCatalog())...)
 	out.Sort()
 	return out, nil
 }

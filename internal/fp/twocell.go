@@ -91,6 +91,41 @@ func (p TwoCellFP) String() string {
 	return fmt.Sprintf("<%s; %s/%d/%s>", agg, vic, p.F, p.R)
 }
 
+// CompletedTwoCellString renders a partial two-cell FP in completed
+// form: the completing operation bracketed before the victim condition,
+// mirroring the single-cell notation — e.g. "<0w1; [w1BL] 1/0/->" for a
+// disturb coupling that only fires while the victim's bit line floats
+// at the completing value.
+func CompletedTwoCellString(p TwoCellFP, comp Op) string {
+	agg := fmt.Sprintf("%d", p.AggState)
+	if p.AggOp != nil {
+		agg = fmt.Sprintf("%d%s", p.AggState, p.AggOp)
+	}
+	vic := fmt.Sprintf("%d", p.VictimState)
+	if p.VictimOp != nil {
+		vic = fmt.Sprintf("%d%s", p.VictimState, p.VictimOp)
+	}
+	return fmt.Sprintf("<%s; [%s] %s/%d/%s>", agg, comp.withSubscript(), vic, p.F, p.R)
+}
+
+// Validate checks that the FP is a member of the static two-cell space:
+// bit-valued states and data, and a classifiable <S_a; S_v / F / R>
+// combination (Classify != CFUnknown).
+func (p TwoCellFP) Validate() error {
+	for _, b := range []int{p.AggState, p.VictimState, p.F} {
+		if b != 0 && b != 1 {
+			return fmt.Errorf("fp: two-cell FP %s has a non-bit state", p)
+		}
+	}
+	if p.AggOp != nil && p.VictimOp != nil {
+		return fmt.Errorf("fp: %s has both an aggressor and a victim operation; the static space allows at most one", p)
+	}
+	if p.Classify() == CFUnknown {
+		return fmt.Errorf("fp: %s is not a valid static two-cell FP", p)
+	}
+	return nil
+}
+
 // NumCells returns #C (always 2 for a two-cell FP).
 func (p TwoCellFP) NumCells() int { return 2 }
 

@@ -168,6 +168,15 @@ func LintAll(tests []Test) lint.Findings {
 // A false return claims nothing: the test may or may not detect the
 // fault dynamically.
 func CannotComplete(t Test, e CatalogEntry) (bool, string) {
+	if err := t.Validate(); err != nil {
+		return false, "" // no static claim about structurally invalid tests
+	}
+	if !passesHealthy(t) {
+		// A test that fails on a fault-free memory "detects" every fault
+		// (Detects counts any mismatch), so "cannot fire" would not imply
+		// "cannot detect": claim nothing, for uncompletable entries too.
+		return false, ""
+	}
 	if e.Uncompletable {
 		return true, "the mediating floating voltage (word line) has no completing operation; Table 1's \"Not possible\""
 	}

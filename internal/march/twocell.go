@@ -10,6 +10,18 @@ import (
 // a rows×cols array and every ⇕-order assignment, the test run yields at
 // least one mismatch.
 func DetectsTwoCell(t Test, rows, cols int, p fp.TwoCellFP) (bool, int, int, error) {
+	return detectsTwoCell(t, rows, cols, func(victim, aggressor int) memsim.TwoCellFault {
+		return memsim.TwoCellFault{Victim: victim, Aggressor: aggressor, FP: p}
+	})
+}
+
+// DetectsTwoCellEntry is DetectsTwoCell for a full catalog entry,
+// injecting partial coupling faults with their mediating floating line.
+func DetectsTwoCellEntry(t Test, rows, cols int, e TwoCellCatalogEntry) (bool, int, int, error) {
+	return detectsTwoCell(t, rows, cols, e.Make)
+}
+
+func detectsTwoCell(t Test, rows, cols int, build func(victim, aggressor int) memsim.TwoCellFault) (bool, int, int, error) {
 	if err := t.Validate(); err != nil {
 		return false, 0, 0, err
 	}
@@ -23,9 +35,7 @@ func DetectsTwoCell(t Test, rows, cols int, p fp.TwoCellFP) (bool, int, int, err
 			}
 			for _, orders := range assignments {
 				arr := memsim.NewArray(rows, cols)
-				if err := arr.InjectTwoCell(memsim.TwoCellFault{
-					Victim: victim, Aggressor: aggressor, FP: p,
-				}); err != nil {
+				if err := arr.InjectTwoCell(build(victim, aggressor)); err != nil {
 					return false, 0, 0, err
 				}
 				total++
@@ -45,6 +55,66 @@ type TwoCellCoverage struct {
 	Detected, Total map[fp.CFKind]int
 	// DetectedAll is the number of FPs detected out of the 36.
 	DetectedAll int
+}
+
+// TwoCellCertRow records one catalog entry's verdict in a coverage
+// certificate: the static pre-pass claim (with its reason) side by side
+// with the brute-force simulation result.
+type TwoCellCertRow struct {
+	// Entry is the catalog entry name; Class its coupling-fault class.
+	Entry string
+	Class fp.CFKind
+	// Partial marks a floating-line-mediated entry.
+	Partial bool
+	// ProvedMiss and Reason carry the CannotCompleteTwoCell verdict.
+	ProvedMiss bool
+	Reason     string
+	// Detected, Caught and Scenarios carry the DetectsTwoCellEntry
+	// result: guaranteed detection, and scenarios caught out of all
+	// (pair × order-assignment) scenarios.
+	Detected          bool
+	Caught, Scenarios int
+}
+
+// TwoCellCertificate is a test's two-cell coverage certificate on one
+// geometry: every catalog entry's static claim checked against the
+// exhaustive simulation. A sound pre-pass yields no row where a proved
+// miss was nevertheless caught.
+type TwoCellCertificate struct {
+	Test       string
+	Rows, Cols int
+	Entries    []TwoCellCertRow
+}
+
+// Violations returns the rows contradicting soundness: statically
+// proved misses that the simulator nevertheless caught at least once.
+func (c TwoCellCertificate) Violations() []TwoCellCertRow {
+	var out []TwoCellCertRow
+	for _, r := range c.Entries {
+		if r.ProvedMiss && r.Caught > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TwoCellCertificateFor builds the certificate for one test and
+// geometry over a catalog.
+func TwoCellCertificateFor(t Test, catalog []TwoCellCatalogEntry, rows, cols int) (TwoCellCertificate, error) {
+	cert := TwoCellCertificate{Test: t.Name, Rows: rows, Cols: cols}
+	for _, e := range catalog {
+		cannot, why := CannotCompleteTwoCell(t, e)
+		det, caught, total, err := DetectsTwoCellEntry(t, rows, cols, e)
+		if err != nil {
+			return cert, err
+		}
+		cert.Entries = append(cert.Entries, TwoCellCertRow{
+			Entry: e.Name, Class: e.FP.Classify(), Partial: e.Partial,
+			ProvedMiss: cannot, Reason: why,
+			Detected: det, Caught: caught, Scenarios: total,
+		})
+	}
+	return cert, nil
 }
 
 // EvaluateTwoCellCoverage runs a test against all 36 static two-cell FPs.

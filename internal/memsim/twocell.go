@@ -3,16 +3,34 @@ package memsim
 import (
 	"fmt"
 
+	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
 )
 
 // TwoCellFault injects a static coupling fault primitive between an
-// aggressor and a victim cell.
+// aggressor and a victim cell. The zero Float injects the classical,
+// always-armed coupling fault; a non-zero Float makes the fault
+// *partial*: besides the aggressor/victim conditions, the mediating
+// floating line must hold the completing value Comp at the sensitizing
+// moment — the victim's bit line (FloatBitLine, last value driven in
+// the victim's column) or the output buffer (FloatOutBuffer, last
+// value driven anywhere). FloatWordLine, or Uncompletable, injects the
+// fault as never-triggering: a floating word line has no completing
+// operation, so under the adversarial test-guarantee semantics it never
+// fires — the two-cell analogue of Table 1's "Not possible" rows.
 type TwoCellFault struct {
 	// Victim and Aggressor are distinct cell addresses.
 	Victim, Aggressor int
 	// FP is the two-cell fault primitive.
 	FP fp.TwoCellFP
+	// Float identifies the mediating floating voltage of a partial
+	// coupling fault; zero for a classical one.
+	Float defect.FloatVar
+	// Comp is the completing value the mediating line must hold.
+	Comp int
+	// Uncompletable marks a partial coupling fault with no completing
+	// operation.
+	Uncompletable bool
 }
 
 // cfault is the compiled coupling fault.
@@ -20,6 +38,8 @@ type cfault struct {
 	victim, aggressor int
 	p                 fp.TwoCellFP
 	kind              fp.CFKind
+	trig              triggerKind
+	comp              int
 }
 
 // InjectTwoCell compiles and adds a coupling fault to the array.
@@ -29,13 +49,29 @@ func (a *Array) InjectTwoCell(f TwoCellFault) error {
 	if f.Victim == f.Aggressor {
 		return fmt.Errorf("memsim: victim and aggressor must differ")
 	}
-	kind := f.FP.Classify()
-	if kind == fp.CFUnknown {
-		return fmt.Errorf("memsim: %s is not a valid static two-cell FP", f.FP)
+	if err := f.FP.Validate(); err != nil {
+		return fmt.Errorf("memsim: %w", err)
 	}
-	a.cfaults = append(a.cfaults, &cfault{
-		victim: f.Victim, aggressor: f.Aggressor, p: f.FP, kind: kind,
-	})
+	c := &cfault{
+		victim: f.Victim, aggressor: f.Aggressor, p: f.FP, kind: f.FP.Classify(),
+		trig: trigAlways,
+	}
+	switch {
+	case f.Uncompletable || f.Float == defect.FloatWordLine:
+		c.trig = trigNever
+	case f.Float == defect.FloatBitLine:
+		c.trig, c.comp = trigBitLine, f.Comp
+	case f.Float == defect.FloatOutBuffer:
+		c.trig, c.comp = trigIO, f.Comp
+	case f.Float == "":
+		// Classical coupling fault, always armed.
+	default:
+		return fmt.Errorf("memsim: %q cannot mediate a partial coupling fault", f.Float)
+	}
+	if (c.trig == trigBitLine || c.trig == trigIO) && f.Comp != 0 && f.Comp != 1 {
+		return fmt.Errorf("memsim: partial coupling fault needs a bit-valued completing value, got %d", f.Comp)
+	}
+	a.cfaults = append(a.cfaults, c)
 	return nil
 }
 
@@ -51,9 +87,27 @@ func (c *cfault) aggMatches(a *Array) bool {
 	return a.cells[c.aggressor] == c.p.AggState
 }
 
+// armed evaluates a partial coupling fault's line trigger. The
+// operation-sensitized fire* hooks run before the current operation
+// drives the lines, so the trigger sees the line value left floating by
+// the *previous* operation; the CFst hook (fireState) runs after, so a
+// line-mediated CFst would see the post-operation value — which is why
+// the catalog only models word-line (uncompletable) partial CFst.
+func (c *cfault) armed(a *Array) bool {
+	switch c.trig {
+	case trigNever:
+		return false
+	case trigBitLine:
+		return a.blState[a.Column(c.victim)] == c.comp
+	case trigIO:
+		return a.ioState == c.comp
+	}
+	return true
+}
+
 // fireAggressorOp evaluates an operation on the aggressor (CFds).
 func (c *cfault) fireAggressorOp(a *Array, addr int, write bool, data, preState int) {
-	if c.kind != fp.CFds || addr != c.aggressor || c.p.AggOp == nil {
+	if c.kind != fp.CFds || addr != c.aggressor || c.p.AggOp == nil || !c.armed(a) {
 		return
 	}
 	op := c.p.AggOp
@@ -77,7 +131,7 @@ func (c *cfault) fireAggressorOp(a *Array, addr int, write bool, data, preState 
 // fireVictimWrite evaluates a write to the victim (CFtr / CFwd),
 // returning the state the victim assumes and whether the fault fired.
 func (c *cfault) fireVictimWrite(a *Array, addr, bit int) (int, bool) {
-	if (c.kind != fp.CFtr && c.kind != fp.CFwd) || addr != c.victim || c.p.VictimOp == nil {
+	if (c.kind != fp.CFtr && c.kind != fp.CFwd) || addr != c.victim || c.p.VictimOp == nil || !c.armed(a) {
 		return 0, false
 	}
 	if c.p.VictimOp.Data != bit || a.cells[c.victim] != c.p.VictimState || !c.aggMatches(a) {
@@ -93,7 +147,7 @@ func (c *cfault) fireVictimRead(a *Array, addr, stored int) (newF, newR int, hit
 	default:
 		return 0, 0, false
 	}
-	if addr != c.victim || c.p.VictimOp == nil {
+	if addr != c.victim || c.p.VictimOp == nil || !c.armed(a) {
 		return 0, 0, false
 	}
 	if stored != c.p.VictimOp.Data || stored != c.p.VictimState || !c.aggMatches(a) {
@@ -105,7 +159,7 @@ func (c *cfault) fireVictimRead(a *Array, addr, stored int) (newF, newR int, hit
 
 // fireState applies CFst after any operation period.
 func (c *cfault) fireState(a *Array) {
-	if c.kind != fp.CFst {
+	if c.kind != fp.CFst || !c.armed(a) {
 		return
 	}
 	if c.aggMatches(a) && a.cells[c.victim] == c.p.VictimState {

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/memtest/partialfaults/internal/fp"
+	"github.com/memtest/partialfaults/internal/march"
+)
+
+// twoCellClassOrder fixes the rendering order of coupling-fault classes.
+var twoCellClassOrder = []fp.CFKind{
+	fp.CFst, fp.CFds, fp.CFtr, fp.CFwd, fp.CFrd, fp.CFdr, fp.CFir,
+}
+
+// WriteTwoCellCoverage renders a two-cell coverage certificate: the
+// per-class tally of detected, statically-proved-missed, and
+// missed-but-unproved catalog entries, the proved misses with their
+// static reasons, and the certificate's soundness verdict — a proved
+// miss the simulator nevertheless caught is a violation and means the
+// pre-pass and the engine have drifted apart.
+func WriteTwoCellCoverage(w io.Writer, c march.TwoCellCertificate) error {
+	if _, err := fmt.Fprintf(w, "two-cell coverage certificate — %s on %dx%d (%d catalog entries)\n",
+		c.Test, c.Rows, c.Cols, len(c.Entries)); err != nil {
+		return err
+	}
+	type tally struct{ total, detected, proved, unproved int }
+	tallies := map[fp.CFKind]*tally{}
+	for _, k := range twoCellClassOrder {
+		tallies[k] = &tally{}
+	}
+	for _, r := range c.Entries {
+		tl := tallies[r.Class]
+		if tl == nil {
+			tl = &tally{}
+			tallies[r.Class] = tl
+		}
+		tl.total++
+		switch {
+		case r.Detected:
+			tl.detected++
+		case r.ProvedMiss:
+			tl.proved++
+		default:
+			tl.unproved++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| class | detected | proved miss | missed (unproved) |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, k := range twoCellClassOrder {
+		tl := tallies[k]
+		if tl.total == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %d/%d | %d | %d |\n",
+			k, tl.detected, tl.total, tl.proved, tl.unproved); err != nil {
+			return err
+		}
+	}
+	proved := 0
+	for _, r := range c.Entries {
+		if !r.ProvedMiss {
+			continue
+		}
+		if proved == 0 {
+			if _, err := fmt.Fprintln(w, "statically proved misses:"); err != nil {
+				return err
+			}
+		}
+		proved++
+		if _, err := fmt.Fprintf(w, "  %s: %s\n", r.Entry, r.Reason); err != nil {
+			return err
+		}
+	}
+	if v := c.Violations(); len(v) > 0 {
+		for _, r := range v {
+			if _, err := fmt.Fprintf(w, "VIOLATION: %s proved missed but caught %d/%d scenarios\n",
+				r.Entry, r.Caught, r.Scenarios); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w, "certificate: UNSOUND — the static pre-pass and the simulator disagree")
+		return err
+	}
+	_, err := fmt.Fprintln(w, "certificate: sound (no statically proved miss was caught dynamically)")
+	return err
+}
