@@ -9,6 +9,7 @@
 //	marchsim -test custom -notation "{m(w0); u(r0,w1); d(r1,w0)}"
 //	marchsim -fault "<1v [w0BL] r1v/0/0>" -float "Bit line"
 //	marchsim -test "March C-" -twocell    # two-cell coverage certificate
+//	marchsim -test "March PF" -prove      # static three-valued detection matrix
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
 		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-passes before simulating")
 		twoCell  = flag.Bool("twocell", false, "emit the two-cell coverage certificate (static pre-pass checked against the exhaustive coupling-fault simulation) instead of the single-cell matrix")
+		prove    = flag.Bool("prove", false, "emit the static three-valued detection matrix (proved Detects/Misses verdicts over all geometries and orders) instead of simulating")
 	)
 	flag.Parse()
 
@@ -89,6 +91,23 @@ func main() {
 		if findings.Count(lint.Error) > 0 {
 			fatalf("lint: the selected tests are statically broken; not simulating")
 		}
+	}
+
+	if *prove {
+		// With a custom -fault the matrix brackets just that primitive;
+		// otherwise it covers the full single- and two-cell catalogs.
+		twos := march.TwoCellCatalog()
+		if *faultStr != "" {
+			twos = nil
+		}
+		m := march.BuildDetectionMatrix(tests, catalog, twos)
+		if err := report.WriteDetectionMatrix(os.Stdout, m); err != nil {
+			fatalf("report: %v", err)
+		}
+		if len(m.Drift()) > 0 {
+			fatalf("prove: the detection prover and the completion pre-pass disagree")
+		}
+		return
 	}
 
 	if *twoCell {

@@ -103,7 +103,8 @@ func lintRepo(root string) (lint.Findings, error) {
 // seededBadFindings lints intentionally broken inputs — a netlist with
 // a floating net and a voltage-source loop, a march test that can never
 // pass on a healthy memory, a march test that provably misses coupling
-// faults, a technology with unphysical parameters, a rail-to-rail
+// faults, a march test with a provable partial-fault detection gap,
+// a technology with unphysical parameters, a rail-to-rail
 // short, a transitive double short joining both rails only through an
 // intermediate net, and a weak resistive bridge forming a contested
 // divider — proving the analyzers can fail.
@@ -134,6 +135,39 @@ func seededBadFindings() lint.Findings {
 		{Order: march.Any, Ops: []march.Op{march.R(0)}},
 	}}
 	out = append(out, march.TwoCellCompletionPrePass([]march.Test{missesCFds}, march.TwoCellCatalog())...)
+
+	// A march test with a provable detection gap: the MATS+ shape fires
+	// the bit-line-mediated TF↓ partial fault (its ⇓ element's w0 sees a
+	// bit line left high by the preceding r1) but never reads the victim
+	// again, so the detection prover returns a guaranteed miss — for a
+	// fault March PF provably detects. The paired error finding is a
+	// tripwire: it appears only if the prover's verdicts regress.
+	gap := march.Test{Name: "seeded-partial-gap", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(0)}},
+		{Order: march.Up, Ops: []march.Op{march.R(0), march.W(1)}},
+		{Order: march.Down, Ops: []march.Op{march.R(1), march.W(0)}},
+	}}
+	var tfdown march.CatalogEntry
+	for _, e := range march.PaperFaultCatalog() {
+		if e.Name == "TF↓ partial (bit line, Open 5)" {
+			tfdown = e
+		}
+	}
+	gapProof := march.ProveDetects(gap, tfdown)
+	pfProof := march.ProveDetects(march.MarchPF(), tfdown)
+	if gapProof.Verdict == march.VerdictMisses && pfProof.Verdict == march.VerdictDetects {
+		out = append(out, lint.Finding{
+			Layer: "march", Rule: "detection-gap", Severity: lint.Warning,
+			Subject: gap.Name,
+			Message: fmt.Sprintf("provably never detects %q: %s — March PF provably detects it (%s)", tfdown.Name, gapProof.Witness, pfProof.Trace),
+		})
+	} else {
+		out = append(out, lint.Finding{
+			Layer: "march", Rule: "detection-selftest", Severity: lint.Error,
+			Subject: gap.Name,
+			Message: fmt.Sprintf("expected a proved miss for %q and a proved March PF detection, got %s and %s — the detection prover regressed", tfdown.Name, gapProof.Verdict, pfProof.Verdict),
+		})
+	}
 
 	badTech := dram.Default()
 	badTech.CCell = -30e-15       // negative capacitance

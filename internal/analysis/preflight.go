@@ -17,9 +17,13 @@ import (
 // the netlist structural proofs (floating nets, MNA solvability) and
 // phase-model verification, the per-open floating-line cross-check
 // against the defect package's Table 1 inventory, the march-test lint,
-// and both completion pre-passes (single-cell and two-cell), whose
+// both completion pre-passes (single-cell and two-cell), whose
 // informational findings tell a coverage run which (test, fault) pairs
-// are statically proved undetectable and need no simulation. A finding
+// are statically proved undetectable and need no simulation, and the
+// three-valued detection pre-pass, which brackets every library test
+// against the fault catalogs with proved Detects/Misses verdicts and
+// cross-checks that every cannot-complete claim lands in the prover's
+// misses (an error-severity drift finding otherwise). A finding
 // at error severity means the pipeline's inputs are inconsistent and
 // its results would be untrustworthy.
 func Preflight(tech dram.Technology) (lint.Findings, error) {
@@ -42,6 +46,7 @@ func Preflight(tech dram.Technology) (lint.Findings, error) {
 	out = append(out, march.LintAll(march.All())...)
 	out = append(out, march.CompletionPrePass(march.All(), march.PaperFaultCatalog())...)
 	out = append(out, march.TwoCellCompletionPrePass(march.All(), march.TwoCellCatalog())...)
+	out = append(out, march.DetectionPrePass(march.All(), march.PaperFaultCatalog(), march.TwoCellCatalog())...)
 	out.Sort()
 	return out, nil
 }

@@ -90,6 +90,23 @@ func (s SOS) CompletingOps() []Op {
 	return out
 }
 
+// CompletingTarget returns the common target of the completing
+// operations and true, or false when there are none or they mix victim
+// and bit-line targets (a shape the functional engine rejects).
+func (s SOS) CompletingTarget() (Target, bool) {
+	comp := s.CompletingOps()
+	if len(comp) == 0 {
+		return TargetVictim, false
+	}
+	t := comp[0].Target
+	for _, o := range comp[1:] {
+		if o.Target != t {
+			return TargetVictim, false
+		}
+	}
+	return t, true
+}
+
 // SensitizingOps returns the non-completing operations.
 func (s SOS) SensitizingOps() []Op {
 	var out []Op

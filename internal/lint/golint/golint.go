@@ -23,6 +23,11 @@
 //   - branch-freeze: a circuit constructed in a function must be frozen
 //     before an engine is built on it; branch indices are provisional
 //     until Freeze.
+//   - goroutine-t-fatal: no t.Fatal/Fatalf/FailNow/Error/Skip on a
+//     testing.T, B or F from inside a goroutine the test launched; the
+//     Fatal family stops only the calling goroutine and Error races
+//     test completion, so concurrent checks must collect failures and
+//     report them on the test goroutine.
 //
 // Findings are suppressed by a `//lint:ignore <rule> <reason>` comment
 // on the offending line or the line above it.

@@ -34,6 +34,7 @@ func TestFixtureFindingCounts(t *testing.T) {
 		"nodeindex-check":    2, // BadNodeIndexDropped, BadNodeIndexBlank
 		"waveform-nil":       2, // BadChainedTrace, BadChainedTraceLen
 		"branch-freeze":      2, // BadUnfrozenEngine, BadFreezeAfterEngine
+		"goroutine-t-fatal":  5, // GoroutineFatal, GoroutineError, DirectGo, NestedLiteral, SubtestInGoroutine
 	}
 	got := map[string]int{}
 	for _, f := range fs {

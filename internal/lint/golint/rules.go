@@ -35,6 +35,7 @@ func (c *checker) run() {
 		c.nodeIndexCheck(f)
 		c.waveformNil(f)
 		c.branchFreeze(f)
+		c.goroutineTFatal(f)
 	}
 	for _, f := range c.pkg.testFiles {
 		c.supp = suppressions(f, c.fset)
@@ -44,6 +45,7 @@ func (c *checker) run() {
 		c.nodeIndexCheck(f)
 		c.waveformNil(f)
 		c.branchFreeze(f)
+		c.goroutineTFatal(f)
 	}
 }
 
@@ -611,6 +613,125 @@ func (c *checker) branchFreezeFunc(body *ast.BlockStmt) {
 		c.add(call.Pos(), "branch-freeze", fmt.Sprintf(
 			"engine built on %s before %s.Freeze(); branch indices are provisional until Freeze, so stamps would land in stale slots", id.Name, id.Name))
 	}
+}
+
+// ---- goroutine-t-fatal ----------------------------------------------
+
+// goroutineUnsafe are the testing.T/B/F methods that must not be called
+// from a goroutine the test launched: the Fatal/FailNow/Skip family
+// stops only the calling goroutine (runtime.Goexit), so the test keeps
+// running as if nothing failed, and Error races test completion (a
+// goroutine that outlives its test panics on the first Error).
+var goroutineUnsafe = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Error": true, "Errorf": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+// goroutineTFatal flags failure or skip calls on a *testing.T, B or F
+// made from inside a goroutine launched by test code — invalid per the
+// testing docs (only the test goroutine may call them). Collect
+// failures into a slice or channel and report them on the test
+// goroutine after Wait. Syntactic, so it covers test files.
+func (c *checker) goroutineTFatal(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ftype, body = fn.Type, fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		tName, ok := testingTParam(ftype)
+		if !ok {
+			return true
+		}
+		c.goroutineWalk(body, tName, false)
+		return true
+	})
+}
+
+// goroutineWalk traverses a function body tracking whether the current
+// node runs on a goroutine the test launched. tName is the in-scope
+// testing parameter; a nested function literal with its own testing
+// parameter (a subtest closure) rebinds it, and launched inside a
+// goroutine it still counts — the subtest body runs off the original
+// test goroutine.
+func (c *checker) goroutineWalk(n ast.Node, tName string, inGo bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				c.goroutineWalk(fl.Body, reboundT(fl.Type, tName), true)
+			} else {
+				// A direct `go t.Fatal(...)` statement.
+				c.goroutineCheckCall(x.Call, tName)
+			}
+			for _, arg := range x.Call.Args {
+				c.goroutineWalk(arg, tName, inGo)
+			}
+			return false
+		case *ast.FuncLit:
+			c.goroutineWalk(x.Body, reboundT(x.Type, tName), inGo)
+			return false
+		case *ast.CallExpr:
+			if inGo {
+				c.goroutineCheckCall(x, tName)
+			}
+		}
+		return true
+	})
+}
+
+// reboundT returns the function literal's own testing parameter name,
+// or the enclosing one.
+func reboundT(ftype *ast.FuncType, outer string) string {
+	if name, ok := testingTParam(ftype); ok {
+		return name
+	}
+	return outer
+}
+
+// goroutineCheckCall flags `t.<unsafe>(...)` for the in-scope testing
+// parameter.
+func (c *checker) goroutineCheckCall(call *ast.CallExpr, tName string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !goroutineUnsafe[sel.Sel.Name] {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != tName {
+		return
+	}
+	c.add(call.Pos(), "goroutine-t-fatal", fmt.Sprintf(
+		"%s.%s called from a goroutine launched by the test; Fatal/FailNow/Skip stop only the calling goroutine and Error races test completion — collect failures and report them on the test goroutine after Wait", tName, sel.Sel.Name))
+}
+
+// testingTParam finds a parameter of type *testing.T, *testing.B or
+// *testing.F and returns its name.
+func testingTParam(ftype *ast.FuncType) (string, bool) {
+	for _, field := range ftype.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "T" && sel.Sel.Name != "B" && sel.Sel.Name != "F") {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "testing" || len(field.Names) == 0 {
+			continue
+		}
+		return field.Names[0].Name, true
+	}
+	return "", false
 }
 
 // testingBParam finds a parameter of type *testing.B and returns its

@@ -1,0 +1,89 @@
+package app
+
+import (
+	"sync"
+	"testing"
+)
+
+// Fatal from a spawned goroutine stops only that goroutine; the test
+// keeps running as if nothing failed.
+func TestBadGoroutineFatal(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Fatalf("bad: %d", 1) // bad
+	}()
+	wg.Wait()
+}
+
+// Error from a goroutine that may outlive the test panics.
+func TestBadGoroutineError(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.Error("bad") // bad
+	}()
+	<-done
+}
+
+// A direct go statement on the testing method counts too.
+func TestBadDirectGo(t *testing.T) {
+	go t.Fatal("bad") // bad
+	t.Log("spawned")
+}
+
+// A helper literal defined inside the goroutine still runs on it.
+func TestBadNestedLiteral(t *testing.T) {
+	go func() {
+		helper := func() {
+			t.Skip("bad") // bad
+		}
+		helper()
+	}()
+}
+
+// A subtest closure rebinding t inside a goroutine still runs off the
+// original test goroutine.
+func TestBadSubtestInGoroutine(t *testing.T) {
+	go func() {
+		t.Run("sub", func(t *testing.T) {
+			t.Fatal("bad") // bad
+		})
+	}()
+}
+
+// Collecting failures and reporting on the test goroutine is the fix.
+func TestGoodCollectedErrors(t *testing.T) {
+	var mu sync.Mutex
+	var errs []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		errs = append(errs, "worker result")
+		mu.Unlock()
+	}()
+	wg.Wait()
+	if len(errs) != 1 {
+		t.Fatalf("errs: %v", errs) // good: on the test goroutine
+	}
+}
+
+// A subtest closure without a goroutine runs on its own test goroutine.
+func TestGoodSubtest(t *testing.T) {
+	t.Run("sub", func(t *testing.T) {
+		t.Fatal("fine") // good: the subtest's own goroutine
+	})
+}
+
+func TestSuppressedGoroutineFatal(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		//lint:ignore goroutine-t-fatal exercising the suppression path
+		t.Error("suppressed")
+	}()
+	<-done
+}

@@ -1,32 +1,8 @@
 package memsim
 
 import (
-	"fmt"
-
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
-)
-
-// triggerKind says which hidden state arms a partial fault.
-type triggerKind int
-
-const (
-	// trigAlways: a plain (non-partial) fault primitive, always armed.
-	trigAlways triggerKind = iota
-	// trigBitLine: armed when the victim's floating bit line holds the
-	// completing value (set by the last operation in the column).
-	trigBitLine
-	// trigIO: armed when the output-buffer/IO state holds the completing
-	// value (set by the last operation anywhere).
-	trigIO
-	// trigVictimSeq: armed when the victim's own recent operation values
-	// end with the completing sequence (cell-internal analog state, the
-	// paper's Open 1 mechanism).
-	trigVictimSeq
-	// trigNever: an uncompletable partial fault (floating word line):
-	// no operation can guarantee sensitization, so under adversarial
-	// semantics it never fires — Table 1's "Not possible" rows.
-	trigNever
 )
 
 // opRecord is one operation as seen by a fault's history tracker.
@@ -35,22 +11,13 @@ type opRecord struct {
 	data  int
 }
 
-// fault is the compiled, injectable form of a fault primitive.
+// fault is the compiled, injectable form of a fault primitive: the
+// exported spec plus the victim binding and the run-time trigger state.
 type fault struct {
+	CompiledFault
 	victim int
-	// init is the victim state the SOS requires (X when unconstrained).
-	init int
-	// Final sensitizing operation; opFree marks state faults.
-	opFree    bool
-	finalRead bool
-	finalData int
-	// Faulty outcome.
-	faultyF int
-	faultyR int // X when the FP has R = '-'
-	// Trigger condition.
-	kind   triggerKind
-	seq    []int // completing values (last one for line triggers)
-	histor []int // victim operation-value history (trigVictimSeq)
+	// histor is the victim operation-value history (TrigVictimSeq).
+	histor []int
 	// dyn, when non-nil, makes the FP dynamic: the final operation only
 	// fires immediately after this first operation of the pair.
 	dyn *dynFirst
@@ -73,9 +40,14 @@ type Fault struct {
 
 // Inject compiles and adds a fault to the array.
 func (a *Array) Inject(f Fault) error {
-	c, err := compile(f, a)
+	a.check(f.Victim)
+	spec, err := CompileFault(f)
 	if err != nil {
 		return err
+	}
+	c := &fault{CompiledFault: spec, victim: f.Victim}
+	if spec.Dynamic {
+		c.dyn = &dynFirst{write: spec.DynWrite, data: spec.DynData, pre: spec.DynPre}
 	}
 	a.faults = append(a.faults, c)
 	return nil
@@ -88,110 +60,25 @@ func (a *Array) MustInject(f Fault) {
 	}
 }
 
-func compile(f Fault, a *Array) (*fault, error) {
-	a.check(f.Victim)
-	p := f.FP
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("memsim: %w", err)
-	}
-	c := &fault{victim: f.Victim, init: X, faultyF: p.F, faultyR: X}
-	switch p.S.Init {
-	case fp.Init0:
-		c.init = 0
-	case fp.Init1:
-		c.init = 1
-	}
-	sens := p.S.SensitizingOps()
-	switch len(sens) {
-	case 0:
-		c.opFree = true
-	case 1, 2:
-		if len(sens) == 2 {
-			// Dynamic pair: the first operation arms the second.
-			first := sens[0]
-			if first.Target != fp.TargetVictim {
-				return nil, fmt.Errorf("memsim: dynamic FP %s must pair victim operations", p)
-			}
-			c.dyn = &dynFirst{write: first.Kind == fp.OpWrite, data: first.Data, pre: c.init}
-			// The state before the final op is the first op's result.
-			c.init = X
-		}
-		op := sens[len(sens)-1]
-		if op.Target != fp.TargetVictim {
-			return nil, fmt.Errorf("memsim: final operation of %s must target the victim", p)
-		}
-		c.finalRead = op.Kind == fp.OpRead
-		c.finalData = op.Data
-		if c.finalRead {
-			if r, ok := p.R.Bit(); ok {
-				c.faultyR = r
-			}
-			if c.dyn == nil {
-				// A read's required pre-state is its expected value.
-				c.init = op.Data
-			}
-		}
-	default:
-		return nil, fmt.Errorf("memsim: %s has %d sensitizing operations; at most two are injectable", p, len(sens))
-	}
-
-	comp := p.S.CompletingOps()
-	switch {
-	case f.Uncompletable:
-		c.kind = trigNever
-	case len(comp) == 0:
-		c.kind = trigAlways
-	default:
-		victimOps, blOps := 0, 0
-		for _, o := range comp {
-			if o.Target == fp.TargetVictim {
-				victimOps++
-			} else {
-				blOps++
-			}
-			c.seq = append(c.seq, o.Data)
-		}
-		if victimOps > 0 && blOps > 0 {
-			return nil, fmt.Errorf("memsim: %s mixes victim and bit-line completing operations", p)
-		}
-		switch {
-		case victimOps > 0:
-			c.kind = trigVictimSeq
-		case f.Float == defect.FloatOutBuffer:
-			c.kind = trigIO
-		case f.Float == defect.FloatWordLine:
-			c.kind = trigNever
-		default:
-			c.kind = trigBitLine
-		}
-		if c.kind == trigVictimSeq && p.S.Init != fp.InitNone && !c.finalRead {
-			// The completed form normally drops the init; keep whichever
-			// constraint the FP states.
-			_ = c.init
-		}
-	}
-	return c, nil
-}
-
 // armed evaluates the trigger condition against the hidden state.
 func (c *fault) armed(a *Array) bool {
-	switch c.kind {
-	case trigAlways:
+	switch c.Kind {
+	case TrigAlways:
 		return true
-	case trigNever:
+	case TrigNever:
 		return false
-	case trigBitLine:
-		want := c.seq[len(c.seq)-1]
+	case TrigBitLine:
+		want := c.Seq[len(c.Seq)-1]
 		return a.blState[a.Column(c.victim)] == want
-	case trigIO:
-		want := c.seq[len(c.seq)-1]
+	case TrigIO:
+		want := c.Seq[len(c.Seq)-1]
 		return a.ioState == want
-	case trigVictimSeq:
-		if len(c.histor) < len(c.seq) {
+	case TrigVictimSeq:
+		if len(c.histor) < len(c.Seq) {
 			return false
 		}
-		off := len(c.histor) - len(c.seq)
-		for i, v := range c.seq {
+		off := len(c.histor) - len(c.Seq)
+		for i, v := range c.Seq {
 			if c.histor[off+i] != v {
 				return false
 			}
@@ -203,55 +90,55 @@ func (c *fault) armed(a *Array) bool {
 
 // initSatisfied checks the victim-state precondition.
 func (c *fault) initSatisfied(a *Array) bool {
-	if c.init == X {
+	if c.Init == X {
 		return true
 	}
-	return a.cells[c.victim] == c.init
+	return a.cells[c.victim] == c.Init
 }
 
 // fireRead evaluates a read of addr: returns the corrupted (F, R) and
 // true when the fault fires.
 func (c *fault) fireRead(a *Array, addr, stored int) (newF, newR int, hit bool) {
-	if c.opFree || !c.finalRead || addr != c.victim {
+	if c.OpFree || !c.FinalRead || addr != c.victim {
 		return 0, 0, false
 	}
 	if c.dyn != nil && !c.dyn.matches(a.prevOp, c.victim) {
 		return 0, 0, false
 	}
-	if stored != c.finalData || !c.initSatisfied(a) || !c.armed(a) {
+	if stored != c.FinalData || !c.initSatisfied(a) || !c.armed(a) {
 		return 0, 0, false
 	}
-	return c.faultyF, c.faultyR, true
+	return c.FaultyF, c.FaultyR, true
 }
 
 // fireWrite evaluates a write of bit to addr: returns the state the cell
 // actually assumes and true when the fault fires.
 func (c *fault) fireWrite(a *Array, addr, bit int) (newF int, hit bool) {
-	if c.opFree || c.finalRead || addr != c.victim {
+	if c.OpFree || c.FinalRead || addr != c.victim {
 		return 0, false
 	}
 	if c.dyn != nil && !c.dyn.matches(a.prevOp, c.victim) {
 		return 0, false
 	}
-	if bit != c.finalData || !c.initSatisfied(a) || !c.armed(a) {
+	if bit != c.FinalData || !c.initSatisfied(a) || !c.armed(a) {
 		return 0, false
 	}
-	return c.faultyF, true
+	return c.FaultyF, true
 }
 
 // fireState lets a state fault flip its armed victim.
 func (c *fault) fireState(a *Array) {
-	if !c.opFree {
+	if !c.OpFree {
 		return
 	}
-	if c.initSatisfied(a) && c.init != X && c.armed(a) {
-		a.cells[c.victim] = c.faultyF
+	if c.initSatisfied(a) && c.Init != X && c.armed(a) {
+		a.cells[c.victim] = c.FaultyF
 	}
 }
 
 // observeOp records operation history for sequence triggers.
 func (c *fault) observeOp(a *Array, addr int, rec opRecord) {
-	if c.kind != trigVictimSeq || addr != c.victim {
+	if c.Kind != TrigVictimSeq || addr != c.victim {
 		return
 	}
 	c.histor = append(c.histor, rec.data)

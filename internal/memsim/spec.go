@@ -1,0 +1,202 @@
+package memsim
+
+import (
+	"fmt"
+
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// This file is the compiled *specification* view of injectable faults,
+// exported so static analyses (the march detection prover) interpret
+// exactly the trigger semantics the simulator executes. The engine's
+// private fault machines are built from these specs; there is no second
+// derivation that could drift.
+
+// TriggerKind says which hidden state arms a (partial) fault.
+type TriggerKind int
+
+const (
+	// TrigAlways: a plain (non-partial) fault primitive, always armed.
+	TrigAlways TriggerKind = iota
+	// TrigBitLine: armed when the victim's floating bit line holds the
+	// completing value (set by the last operation in the column).
+	TrigBitLine
+	// TrigIO: armed when the output-buffer/IO state holds the completing
+	// value (set by the last operation anywhere).
+	TrigIO
+	// TrigVictimSeq: armed when the victim's own recent operation values
+	// end with the completing sequence (cell-internal analog state, the
+	// paper's Open 1 mechanism).
+	TrigVictimSeq
+	// TrigNever: an uncompletable partial fault (floating word line):
+	// no operation can guarantee sensitization, so under adversarial
+	// semantics it never fires — Table 1's "Not possible" rows.
+	TrigNever
+)
+
+// String renders the trigger kind.
+func (k TriggerKind) String() string {
+	switch k {
+	case TrigAlways:
+		return "always"
+	case TrigBitLine:
+		return "bit line"
+	case TrigIO:
+		return "output buffer"
+	case TrigVictimSeq:
+		return "victim sequence"
+	case TrigNever:
+		return "never"
+	}
+	return fmt.Sprintf("TriggerKind(%d)", int(k))
+}
+
+// CompiledFault is the compiled form of a single-cell Fault: the exact
+// machine the simulator runs, minus the victim address. X marks
+// unconstrained values throughout.
+type CompiledFault struct {
+	// Init is the victim pre-state the sensitizing operation requires
+	// (X when unconstrained). For read-sensitized FPs this equals the
+	// read's expected value.
+	Init int
+	// OpFree marks a state fault: it fires after any operation period
+	// instead of at a sensitizing operation.
+	OpFree bool
+	// FinalRead says whether the sensitizing operation is a read;
+	// FinalData is its data value.
+	FinalRead bool
+	FinalData int
+	// FaultyF is the cell state after firing; FaultyR the delivered read
+	// value (X when the FP has R = '-').
+	FaultyF int
+	FaultyR int
+	// Kind and Seq describe the trigger: Seq holds the completing values
+	// (the whole victim-operation sequence for TrigVictimSeq, whose last
+	// value alone matters for the line triggers).
+	Kind TriggerKind
+	Seq  []int
+	// Dynamic marks a two-operation dynamic pair: the final operation
+	// fires only immediately after the pair's first operation, described
+	// by DynWrite/DynData/DynPre.
+	Dynamic  bool
+	DynWrite bool
+	DynData  int
+	DynPre   int
+}
+
+// CompileFault compiles an injection descriptor to its spec. The victim
+// address is ignored (range-checked at injection time).
+func CompileFault(f Fault) (CompiledFault, error) {
+	p := f.FP
+	if err := p.Validate(); err != nil {
+		return CompiledFault{}, fmt.Errorf("memsim: %w", err)
+	}
+	c := CompiledFault{Init: X, FaultyF: p.F, FaultyR: X}
+	switch p.S.Init {
+	case fp.Init0:
+		c.Init = 0
+	case fp.Init1:
+		c.Init = 1
+	}
+	sens := p.S.SensitizingOps()
+	switch len(sens) {
+	case 0:
+		c.OpFree = true
+	case 1, 2:
+		if len(sens) == 2 {
+			// Dynamic pair: the first operation arms the second.
+			first := sens[0]
+			if first.Target != fp.TargetVictim {
+				return CompiledFault{}, fmt.Errorf("memsim: dynamic FP %s must pair victim operations", p)
+			}
+			c.Dynamic = true
+			c.DynWrite = first.Kind == fp.OpWrite
+			c.DynData = first.Data
+			c.DynPre = c.Init
+			// The state before the final op is the first op's result.
+			c.Init = X
+		}
+		op := sens[len(sens)-1]
+		if op.Target != fp.TargetVictim {
+			return CompiledFault{}, fmt.Errorf("memsim: final operation of %s must target the victim", p)
+		}
+		c.FinalRead = op.Kind == fp.OpRead
+		c.FinalData = op.Data
+		if c.FinalRead {
+			if r, ok := p.R.Bit(); ok {
+				c.FaultyR = r
+			}
+			if !c.Dynamic {
+				// A read's required pre-state is its expected value.
+				c.Init = op.Data
+			}
+		}
+	default:
+		return CompiledFault{}, fmt.Errorf("memsim: %s has %d sensitizing operations; at most two are injectable", p, len(sens))
+	}
+
+	comp := p.S.CompletingOps()
+	switch {
+	case f.Uncompletable:
+		c.Kind = TrigNever
+	case len(comp) == 0:
+		c.Kind = TrigAlways
+	default:
+		target, uniform := p.S.CompletingTarget()
+		if !uniform {
+			return CompiledFault{}, fmt.Errorf("memsim: %s mixes victim and bit-line completing operations", p)
+		}
+		for _, o := range comp {
+			c.Seq = append(c.Seq, o.Data)
+		}
+		switch {
+		case target == fp.TargetVictim:
+			c.Kind = TrigVictimSeq
+		case f.Float == defect.FloatOutBuffer:
+			c.Kind = TrigIO
+		case f.Float == defect.FloatWordLine:
+			c.Kind = TrigNever
+		default:
+			c.Kind = TrigBitLine
+		}
+	}
+	return c, nil
+}
+
+// CompiledTwoCell is the compiled form of a TwoCellFault: the coupling
+// class plus the mediating-line trigger, minus the address pair.
+type CompiledTwoCell struct {
+	// Kind is the coupling-fault class of the FP.
+	Kind fp.CFKind
+	// Trig and Comp describe the mediating-line trigger: TrigAlways for
+	// classical entries, TrigNever for uncompletable ones, TrigBitLine /
+	// TrigIO with the completing value Comp for partial ones.
+	Trig TriggerKind
+	Comp int
+}
+
+// CompileTwoCellFault compiles a coupling-fault descriptor to its spec.
+// The address pair is ignored (checked at injection time).
+func CompileTwoCellFault(f TwoCellFault) (CompiledTwoCell, error) {
+	if err := f.FP.Validate(); err != nil {
+		return CompiledTwoCell{}, fmt.Errorf("memsim: %w", err)
+	}
+	c := CompiledTwoCell{Kind: f.FP.Classify(), Trig: TrigAlways}
+	switch {
+	case f.Uncompletable || f.Float == defect.FloatWordLine:
+		c.Trig = TrigNever
+	case f.Float == defect.FloatBitLine:
+		c.Trig, c.Comp = TrigBitLine, f.Comp
+	case f.Float == defect.FloatOutBuffer:
+		c.Trig, c.Comp = TrigIO, f.Comp
+	case f.Float == "":
+		// Classical coupling fault, always armed.
+	default:
+		return CompiledTwoCell{}, fmt.Errorf("memsim: %q cannot mediate a partial coupling fault", f.Float)
+	}
+	if (c.Trig == TrigBitLine || c.Trig == TrigIO) && f.Comp != 0 && f.Comp != 1 {
+		return CompiledTwoCell{}, fmt.Errorf("memsim: partial coupling fault needs a bit-valued completing value, got %d", f.Comp)
+	}
+	return c, nil
+}

@@ -33,13 +33,12 @@ type TwoCellFault struct {
 	Uncompletable bool
 }
 
-// cfault is the compiled coupling fault.
+// cfault is the compiled coupling fault: the exported spec plus the
+// address-pair binding.
 type cfault struct {
+	CompiledTwoCell
 	victim, aggressor int
 	p                 fp.TwoCellFP
-	kind              fp.CFKind
-	trig              triggerKind
-	comp              int
 }
 
 // InjectTwoCell compiles and adds a coupling fault to the array.
@@ -49,29 +48,13 @@ func (a *Array) InjectTwoCell(f TwoCellFault) error {
 	if f.Victim == f.Aggressor {
 		return fmt.Errorf("memsim: victim and aggressor must differ")
 	}
-	if err := f.FP.Validate(); err != nil {
-		return fmt.Errorf("memsim: %w", err)
+	spec, err := CompileTwoCellFault(f)
+	if err != nil {
+		return err
 	}
-	c := &cfault{
-		victim: f.Victim, aggressor: f.Aggressor, p: f.FP, kind: f.FP.Classify(),
-		trig: trigAlways,
-	}
-	switch {
-	case f.Uncompletable || f.Float == defect.FloatWordLine:
-		c.trig = trigNever
-	case f.Float == defect.FloatBitLine:
-		c.trig, c.comp = trigBitLine, f.Comp
-	case f.Float == defect.FloatOutBuffer:
-		c.trig, c.comp = trigIO, f.Comp
-	case f.Float == "":
-		// Classical coupling fault, always armed.
-	default:
-		return fmt.Errorf("memsim: %q cannot mediate a partial coupling fault", f.Float)
-	}
-	if (c.trig == trigBitLine || c.trig == trigIO) && f.Comp != 0 && f.Comp != 1 {
-		return fmt.Errorf("memsim: partial coupling fault needs a bit-valued completing value, got %d", f.Comp)
-	}
-	a.cfaults = append(a.cfaults, c)
+	a.cfaults = append(a.cfaults, &cfault{
+		CompiledTwoCell: spec, victim: f.Victim, aggressor: f.Aggressor, p: f.FP,
+	})
 	return nil
 }
 
@@ -94,20 +77,20 @@ func (c *cfault) aggMatches(a *Array) bool {
 // line-mediated CFst would see the post-operation value — which is why
 // the catalog only models word-line (uncompletable) partial CFst.
 func (c *cfault) armed(a *Array) bool {
-	switch c.trig {
-	case trigNever:
+	switch c.Trig {
+	case TrigNever:
 		return false
-	case trigBitLine:
-		return a.blState[a.Column(c.victim)] == c.comp
-	case trigIO:
-		return a.ioState == c.comp
+	case TrigBitLine:
+		return a.blState[a.Column(c.victim)] == c.Comp
+	case TrigIO:
+		return a.ioState == c.Comp
 	}
 	return true
 }
 
 // fireAggressorOp evaluates an operation on the aggressor (CFds).
 func (c *cfault) fireAggressorOp(a *Array, addr int, write bool, data, preState int) {
-	if c.kind != fp.CFds || addr != c.aggressor || c.p.AggOp == nil || !c.armed(a) {
+	if c.Kind != fp.CFds || addr != c.aggressor || c.p.AggOp == nil || !c.armed(a) {
 		return
 	}
 	op := c.p.AggOp
@@ -131,7 +114,7 @@ func (c *cfault) fireAggressorOp(a *Array, addr int, write bool, data, preState 
 // fireVictimWrite evaluates a write to the victim (CFtr / CFwd),
 // returning the state the victim assumes and whether the fault fired.
 func (c *cfault) fireVictimWrite(a *Array, addr, bit int) (int, bool) {
-	if (c.kind != fp.CFtr && c.kind != fp.CFwd) || addr != c.victim || c.p.VictimOp == nil || !c.armed(a) {
+	if (c.Kind != fp.CFtr && c.Kind != fp.CFwd) || addr != c.victim || c.p.VictimOp == nil || !c.armed(a) {
 		return 0, false
 	}
 	if c.p.VictimOp.Data != bit || a.cells[c.victim] != c.p.VictimState || !c.aggMatches(a) {
@@ -142,7 +125,7 @@ func (c *cfault) fireVictimWrite(a *Array, addr, bit int) (int, bool) {
 
 // fireVictimRead evaluates a read of the victim (CFrd / CFdr / CFir).
 func (c *cfault) fireVictimRead(a *Array, addr, stored int) (newF, newR int, hit bool) {
-	switch c.kind {
+	switch c.Kind {
 	case fp.CFrd, fp.CFdr, fp.CFir:
 	default:
 		return 0, 0, false
@@ -159,7 +142,7 @@ func (c *cfault) fireVictimRead(a *Array, addr, stored int) (newF, newR int, hit
 
 // fireState applies CFst after any operation period.
 func (c *cfault) fireState(a *Array) {
-	if c.kind != fp.CFst || !c.armed(a) {
+	if c.Kind != fp.CFst || !c.armed(a) {
 		return
 	}
 	if c.aggMatches(a) && a.cells[c.victim] == c.p.VictimState {
