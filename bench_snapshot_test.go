@@ -33,8 +33,9 @@ type benchResult struct {
 // set — to "1" for the date-stamped default filename, or to an explicit
 // *.json path. The tracked set covers the performance layer's acceptance
 // benchmarks (the Table 1 pipeline, the electrical plane sweeps naive
-// versus pooled, and the two per-operation unit costs). testing.Benchmark
-// honours -benchtime, so CI smoke runs can pass -benchtime 1x.
+// versus pooled, the two per-operation unit costs, and the bit-plane
+// versus scalar march engines). testing.Benchmark honours -benchtime,
+// so CI smoke runs can pass -benchtime 1x.
 func TestBenchSnapshot(t *testing.T) {
 	dest := os.Getenv("BENCH_SNAPSHOT")
 	if dest == "" {
@@ -52,6 +53,8 @@ func TestBenchSnapshot(t *testing.T) {
 		{"BenchmarkSpicePlaneSweepPooled", BenchmarkSpicePlaneSweepPooled},
 		{"BenchmarkSpiceOperation", BenchmarkSpiceOperation},
 		{"BenchmarkBehavOperation", BenchmarkBehavOperation},
+		{"BenchmarkBitsimMarchPF", BenchmarkBitsimMarchPF},
+		{"BenchmarkMemsimMarchPF", BenchmarkMemsimMarchPF},
 	}
 	snap := benchSnapshot{
 		Date:      time.Now().UTC().Format(time.RFC3339),

@@ -554,7 +554,11 @@ func BenchmarkMarchTestExecution(b *testing.B) {
 		if err := arr.Inject(entry.Make(5)); err != nil {
 			b.Fatal(err)
 		}
-		if ms := march.MarchPF().Run(arr, nil); len(ms) == 0 {
+		ms, err := march.MarchPF().Run(arr, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) == 0 {
 			b.Fatal("March PF must catch the Open 1 completed RDF0")
 		}
 	}

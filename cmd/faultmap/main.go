@@ -32,6 +32,7 @@ import (
 
 	"github.com/memtest/partialfaults/internal/analysis"
 	"github.com/memtest/partialfaults/internal/behav"
+	"github.com/memtest/partialfaults/internal/bitsim"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
 	"github.com/memtest/partialfaults/internal/fp"
@@ -59,6 +60,7 @@ func main() {
 		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
 		defSite   = flag.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
 		twoCell   = flag.String("twocell", "", "march test name (or \"all\") whose two-cell coverage certificate to print; exits nonzero on an unsound certificate")
+		marchEng  = flag.String("march-engine", "memsim", "march simulation backend for -twocell: memsim (scalar oracle) or bitsim (bit-plane)")
 		proveTest = flag.String("prove", "", "march test name (or \"all\") whose static three-valued detection matrix to print; exits nonzero when the prover and the completion pre-pass disagree")
 	)
 	flag.Parse()
@@ -72,7 +74,7 @@ func main() {
 		return
 	}
 	if *twoCell != "" {
-		twoCellCertificates(*twoCell)
+		twoCellCertificates(*twoCell, *marchEng)
 		return
 	}
 	if *defSite != "" {
@@ -213,8 +215,19 @@ func predictMerge(arg string) {
 // named march test ("all" for the whole library) on a 4×2 array: every
 // catalog coupling fault's simulated detection verdict side by side
 // with the static completion pre-pass, plus the soundness check that no
-// statically proved miss was caught dynamically.
-func twoCellCertificates(name string) {
+// statically proved miss was caught dynamically. The engine name picks
+// the simulation backend (the bit-plane engine produces identical
+// verdicts; useful for cross-checking and for larger geometries).
+func twoCellCertificates(name, engineName string) {
+	var eng march.Engine
+	switch engineName {
+	case "memsim":
+		eng = march.ScalarEngine{}
+	case "bitsim":
+		eng = bitsim.New()
+	default:
+		fatalf("unknown -march-engine %q (want memsim or bitsim)", engineName)
+	}
 	var tests []march.Test
 	if name == "all" {
 		tests = march.All()
@@ -231,7 +244,7 @@ func twoCellCertificates(name string) {
 	}
 	unsound := false
 	for _, t := range tests {
-		cert, err := march.TwoCellCertificateFor(t, march.TwoCellCatalog(), 4, 2)
+		cert, err := march.TwoCellCertificateWith(eng, t, march.TwoCellCatalog(), 4, 2)
 		if err != nil {
 			fatalf("twocell: %v", err)
 		}

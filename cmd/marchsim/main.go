@@ -10,13 +10,17 @@
 //	marchsim -fault "<1v [w0BL] r1v/0/0>" -float "Bit line"
 //	marchsim -test "March C-" -twocell    # two-cell coverage certificate
 //	marchsim -test "March PF" -prove      # static three-valued detection matrix
+//	marchsim -engine bitsim -geometry 1024x1024 -test "March PF"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"github.com/memtest/partialfaults/internal/bitsim"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/lint"
@@ -32,11 +36,30 @@ func main() {
 		floatVar = flag.String("float", "Bit line", "mediating floating voltage for a partial -fault")
 		rows     = flag.Int("rows", 4, "array rows")
 		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
+		geometry = flag.String("geometry", "", "array geometry as ROWSxCOLS (e.g. 1024x1024); overrides -rows/-cols")
+		engine   = flag.String("engine", "memsim", "simulation backend: memsim (scalar oracle) or bitsim (bit-plane, for megabit arrays)")
 		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-passes before simulating")
 		twoCell  = flag.Bool("twocell", false, "emit the two-cell coverage certificate (static pre-pass checked against the exhaustive coupling-fault simulation) instead of the single-cell matrix")
 		prove    = flag.Bool("prove", false, "emit the static three-valued detection matrix (proved Detects/Misses verdicts over all geometries and orders) instead of simulating")
 	)
 	flag.Parse()
+
+	if *geometry != "" {
+		r, c, err := parseGeometry(*geometry)
+		if err != nil {
+			fatalf("bad -geometry: %v", err)
+		}
+		*rows, *cols = r, c
+	}
+	var eng march.Engine
+	switch *engine {
+	case "memsim":
+		eng = march.ScalarEngine{}
+	case "bitsim":
+		eng = bitsim.New()
+	default:
+		fatalf("unknown -engine %q (want memsim or bitsim)", *engine)
+	}
 
 	tests := march.All()
 	if *testName != "" {
@@ -113,7 +136,7 @@ func main() {
 	if *twoCell {
 		unsound := false
 		for _, t := range tests {
-			cert, err := march.TwoCellCertificateFor(t, march.TwoCellCatalog(), *rows, *cols)
+			cert, err := march.TwoCellCertificateWith(eng, t, march.TwoCellCatalog(), *rows, *cols)
 			if err != nil {
 				fatalf("twocell: %v", err)
 			}
@@ -131,7 +154,7 @@ func main() {
 		return
 	}
 
-	results, err := march.CoverageMatrix(tests, catalog, *rows, *cols)
+	results, err := march.CoverageMatrixWith(eng, tests, catalog, *rows, *cols)
 	if err != nil {
 		fatalf("coverage: %v", err)
 	}
@@ -142,6 +165,25 @@ func main() {
 	if err := report.WriteCoverage(os.Stdout, results, names); err != nil {
 		fatalf("report: %v", err)
 	}
+}
+
+func parseGeometry(s string) (rows, cols int, err error) {
+	r, c, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("want ROWSxCOLS, got %q", s)
+	}
+	rows, err = strconv.Atoi(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad rows in %q: %v", s, err)
+	}
+	cols, err = strconv.Atoi(c)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad columns in %q: %v", s, err)
+	}
+	if rows <= 0 || cols <= 0 {
+		return 0, 0, fmt.Errorf("geometry %q must be positive", s)
+	}
+	return rows, cols, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -101,7 +101,11 @@ func TestIntegrationMarchPFViaFacade(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if ms := pf.Run(arr, nil); len(ms) == 0 {
+	ms, err := pf.Run(arr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
 		t.Error("March PF must catch the Open 1 completed RDF0")
 	}
 }

@@ -1,0 +1,117 @@
+package bitsim
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/memsim"
+)
+
+// The differential equivalence suite: the bit-plane engine must return
+// verdicts identical to the scalar memsim oracle for every catalog
+// entry × library test on every overlapping geometry. Any divergence is
+// a bug in the mask compilation, never an acceptable approximation.
+
+func singleCatalog() []march.CatalogEntry {
+	var out []march.CatalogEntry
+	out = append(out, march.ClassicalFaultCatalog()...)
+	out = append(out, march.PaperFaultCatalog()...)
+	for _, p := range memsim.DynamicFaultCatalog() {
+		out = append(out, march.CatalogEntry{Name: p.String(), FP: p})
+	}
+	return out
+}
+
+func compareDetections(t *testing.T, test march.Test, rows, cols int, name string, want, got march.Detection, wantErr, gotErr error) {
+	t.Helper()
+	if (wantErr != nil) != (gotErr != nil) {
+		t.Errorf("%s × %s @ %dx%d: scalar err=%v, bitsim err=%v", test.Name, name, rows, cols, wantErr, gotErr)
+		return
+	}
+	if wantErr != nil {
+		return
+	}
+	if want != got {
+		t.Errorf("%s × %s @ %dx%d: scalar %+v, bitsim %+v", test.Name, name, rows, cols, want, got)
+	}
+}
+
+func TestSingleCellEquivalence(t *testing.T) {
+	scalar := march.ScalarEngine{}
+	eng := New()
+	catalog := singleCatalog()
+	geoms := [][2]int{{2, 2}, {2, 4}, {4, 4}}
+	for _, g := range geoms {
+		for _, test := range march.All() {
+			for _, e := range catalog {
+				want, wantErr := scalar.Detects(test, g[0], g[1], e)
+				got, gotErr := eng.Detects(test, g[0], g[1], e)
+				compareDetections(t, test, g[0], g[1], e.Name, want, got, wantErr, gotErr)
+			}
+		}
+	}
+}
+
+func TestSingleCellEquivalence8x8(t *testing.T) {
+	scalar := march.ScalarEngine{}
+	eng := New()
+	catalog := singleCatalog()
+	tests := []march.Test{march.MATSPlus(), march.MarchCMinus(), march.MarchRAW(), march.MarchPF()}
+	for _, test := range tests {
+		for _, e := range catalog {
+			want, wantErr := scalar.Detects(test, 8, 8, e)
+			got, gotErr := eng.Detects(test, 8, 8, e)
+			compareDetections(t, test, 8, 8, e.Name, want, got, wantErr, gotErr)
+		}
+	}
+}
+
+// TestSingleCellEquivalence64x64 is the top-end spot check: the
+// largest geometry the scalar oracle can still differentially cover.
+func TestSingleCellEquivalence64x64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64x64 scalar runs are the long differential pass")
+	}
+	scalar := march.ScalarEngine{}
+	eng := New()
+	catalog := singleCatalog()
+	test := march.MATSPlus()
+	for _, e := range []march.CatalogEntry{catalog[0], catalog[13], catalog[len(catalog)-1]} {
+		want, wantErr := scalar.Detects(test, 64, 64, e)
+		got, gotErr := eng.Detects(test, 64, 64, e)
+		compareDetections(t, test, 64, 64, e.Name, want, got, wantErr, gotErr)
+	}
+}
+
+func TestTwoCellEquivalence(t *testing.T) {
+	scalar := march.ScalarEngine{}
+	eng := New()
+	catalog := march.TwoCellCatalog()
+	geoms := [][2]int{{2, 2}, {2, 4}}
+	for _, g := range geoms {
+		for _, test := range march.All() {
+			for _, e := range catalog {
+				want, wantErr := scalar.DetectsTwoCell(test, g[0], g[1], e)
+				got, gotErr := eng.DetectsTwoCell(test, g[0], g[1], e)
+				compareDetections(t, test, g[0], g[1], e.Name, want, got, wantErr, gotErr)
+			}
+		}
+	}
+}
+
+func TestTwoCellEquivalence4x4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4x4 two-cell sweep is the long differential pass")
+	}
+	scalar := march.ScalarEngine{}
+	eng := New()
+	catalog := march.TwoCellCatalog()
+	tests := []march.Test{march.MATSPlus(), march.MarchCMinus(), march.MarchSS(), march.MarchPF()}
+	for _, test := range tests {
+		for _, e := range catalog {
+			want, wantErr := scalar.DetectsTwoCell(test, 4, 4, e)
+			got, gotErr := eng.DetectsTwoCell(test, 4, 4, e)
+			compareDetections(t, test, 4, 4, e.Name, want, got, wantErr, gotErr)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package bitsim is the bit-plane march engine: 64 detection scenarios
+// live in one machine word and march operations become word-wide
+// bitwise kernels instead of the scalar simulator's per-cell hook
+// dispatch.
+//
+// The engine exploits the structure of guarantee-semantics evaluation:
+// scenario v is "the fault injected at victim v", and in any scenario
+// every non-victim cell follows the same fault-free trajectory, because
+// a march element applies identical operations at every address and the
+// single injected fault only touches its victim. The fault-free array
+// state is therefore a scalar per operation step, and the only
+// per-scenario state is the victim cell itself plus the hidden line
+// state *as seen by the victim* — a handful of ternary bit planes
+// indexed by victim lane. One walk over the test's elements evaluates
+// all N victims at once in O(len·N/64) word operations, against the
+// scalar engine's O(len·N²) cell operations.
+//
+// Lanes shard into word-aligned blocks evaluated concurrently on a
+// bounded worker pool; the per-shard detection bitmaps merge into
+// disjoint word ranges, so reduction order cannot change the result.
+// The scalar memsim engine remains the differential oracle: the
+// equivalence suite proves both engines produce identical verdicts for
+// every library test × catalog entry on all shared geometries.
+package bitsim
+
+import "math/bits"
+
+// plane is a ternary (0/1/X) value per lane, packed as value and known
+// bitmaps: lane i holds X when k's bit is clear, else v's bit.
+type plane struct {
+	v, k []uint64
+}
+
+func newPlane(w int) plane {
+	return plane{v: make([]uint64, w), k: make([]uint64, w)}
+}
+
+// setConst sets every lane to t (0, 1 or X).
+func (p plane) setConst(t int) {
+	switch t {
+	case 0:
+		wzero(p.v)
+		wfill(p.k)
+	case 1:
+		wfill(p.v)
+		wfill(p.k)
+	default:
+		wzero(p.v)
+		wzero(p.k)
+	}
+}
+
+// eq writes the lanes where p is known and equals the bit want.
+func (p plane) eq(want int, dst []uint64) {
+	if want == 1 {
+		for i := range dst {
+			dst[i] = p.k[i] & p.v[i]
+		}
+	} else {
+		for i := range dst {
+			dst[i] = p.k[i] &^ p.v[i]
+		}
+	}
+}
+
+// setConstWhere sets the lanes selected by mask to t, keeping the rest.
+func (p plane) setConstWhere(mask []uint64, t int) {
+	switch t {
+	case 0:
+		for i := range mask {
+			p.v[i] &^= mask[i]
+			p.k[i] |= mask[i]
+		}
+	case 1:
+		for i := range mask {
+			p.v[i] |= mask[i]
+			p.k[i] |= mask[i]
+		}
+	default:
+		for i := range mask {
+			p.v[i] &^= mask[i]
+			p.k[i] &^= mask[i]
+		}
+	}
+}
+
+// setPlaneWhere copies q into the lanes selected by mask.
+func (p plane) setPlaneWhere(mask []uint64, q plane) {
+	for i := range mask {
+		p.v[i] = (p.v[i] &^ mask[i]) | (q.v[i] & mask[i])
+		p.k[i] = (p.k[i] &^ mask[i]) | (q.k[i] & mask[i])
+	}
+}
+
+func (p plane) copyFrom(q plane) {
+	copy(p.v, q.v)
+	copy(p.k, q.k)
+}
+
+func wzero(d []uint64) {
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+func wfill(d []uint64) {
+	for i := range d {
+		d[i] = ^uint64(0)
+	}
+}
+
+// wand, wor, wandnot fold s into d.
+func wand(d, s []uint64) {
+	for i := range d {
+		d[i] &= s[i]
+	}
+}
+
+func wor(d, s []uint64) {
+	for i := range d {
+		d[i] |= s[i]
+	}
+}
+
+func wandnot(d, s []uint64) {
+	for i := range d {
+		d[i] &^= s[i]
+	}
+}
+
+// wnot writes the complement of s into d.
+func wnot(d, s []uint64) {
+	for i := range d {
+		d[i] = ^s[i]
+	}
+}
+
+func popcount(d []uint64) int {
+	n := 0
+	for _, w := range d {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package bitsim
+
+import "github.com/memtest/partialfaults/internal/march"
+
+// geom is the evaluated array geometry. Address a sits at row a/cols,
+// column a%cols; same column = same bit line, matching memsim.
+type geom struct {
+	rows, cols, n int
+}
+
+func (g geom) firstAddr(o march.Order) int {
+	if o == march.Down {
+		return g.n - 1
+	}
+	return 0
+}
+
+func (g geom) lastAddr(o march.Order) int {
+	if o == march.Down {
+		return 0
+	}
+	return g.n - 1
+}
+
+// firstRowRange is the address range of the first-visited row: the
+// lanes whose column receives no operations before the victim pass.
+func (g geom) firstRowRange(o march.Order) (int, int) {
+	if o == march.Down {
+		return g.n - g.cols, g.n
+	}
+	return 0, g.cols
+}
+
+// lastRowRange is the address range of the last-visited row: the lanes
+// whose column receives no operations after the victim pass.
+func (g geom) lastRowRange(o march.Order) (int, int) {
+	if o == march.Down {
+		return 0, g.cols
+	}
+	return g.n - g.cols, g.n
+}
+
+// shard is a word-aligned block of victim lanes [lo, hi) evaluated as
+// one unit; w counts its words (the last may be partial).
+type shard struct {
+	lo, hi, w int
+}
+
+// makeShards splits n lanes into word-aligned blocks of at most
+// lanesPerShard lanes (rounded up to a multiple of 64).
+func makeShards(n, lanesPerShard int) []shard {
+	if lanesPerShard < 64 {
+		lanesPerShard = 64
+	}
+	lanesPerShard = (lanesPerShard + 63) &^ 63
+	var out []shard
+	for lo := 0; lo < n; lo += lanesPerShard {
+		hi := lo + lanesPerShard
+		if hi > n {
+			hi = n
+		}
+		out = append(out, shard{lo: lo, hi: hi, w: (hi - lo + 63) / 64})
+	}
+	return out
+}
+
+// rangeMask writes the shard-local mask of global lanes [a, b).
+func (s shard) rangeMask(a, b int, dst []uint64) {
+	wzero(dst)
+	if a < s.lo {
+		a = s.lo
+	}
+	if b > s.hi {
+		b = s.hi
+	}
+	if a >= b {
+		return
+	}
+	a -= s.lo
+	b -= s.lo
+	for i := a / 64; i <= (b-1)/64; i++ {
+		w := ^uint64(0)
+		if lo := i * 64; lo < a {
+			w &= ^uint64(0) << (a - lo)
+		}
+		if hi := i*64 + 64; hi > b {
+			w &= ^uint64(0) >> (hi - b)
+		}
+		dst[i] |= w
+	}
+}
+
+// bitMask writes the shard-local single-lane mask for a global address
+// (empty when the address falls outside the shard).
+func (s shard) bitMask(addr int, dst []uint64) {
+	wzero(dst)
+	if addr >= s.lo && addr < s.hi {
+		dst[(addr-s.lo)/64] |= 1 << uint((addr-s.lo)%64)
+	}
+}
+
+// laneMask writes the mask of lanes the shard actually covers (the
+// last word may have tail bits beyond hi).
+func (s shard) laneMask(dst []uint64) {
+	s.rangeMask(s.lo, s.hi, dst)
+}
+
+// orderMasks caches the per-order boundary masks of one shard.
+type orderMasks struct {
+	// firstBit / lastBit select the walk-first / walk-last lane.
+	firstBit, lastBit []uint64
+	// firstRow / lastRow select the first- / last-visited row: lanes
+	// whose bit line is untouched before / after their victim pass.
+	firstRow, lastRow []uint64
+}
+
+func masksFor(g geom, s shard, o march.Order) orderMasks {
+	m := orderMasks{
+		firstBit: make([]uint64, s.w), lastBit: make([]uint64, s.w),
+		firstRow: make([]uint64, s.w), lastRow: make([]uint64, s.w),
+	}
+	s.bitMask(g.firstAddr(o), m.firstBit)
+	s.bitMask(g.lastAddr(o), m.lastBit)
+	a, b := g.firstRowRange(o)
+	s.rangeMask(a, b, m.firstRow)
+	a, b = g.lastRowRange(o)
+	s.rangeMask(a, b, m.lastRow)
+	return m
+}

@@ -1,0 +1,122 @@
+package bitsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/march"
+)
+
+// TestMergeResultsOrderIndependent pins the reducer property the
+// streaming pipeline relies on: shards own disjoint word ranges, so the
+// merged per-assignment bitmaps cannot depend on completion order.
+func TestMergeResultsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := geom{rows: 40, cols: 10, n: 400}
+	shards := makeShards(g.n, 64)
+	const nAssign = 3
+	var results []shardResult
+	for ai := 0; ai < nAssign; ai++ {
+		for si, sh := range shards {
+			det := make([]uint64, sh.w)
+			for i := range det {
+				det[i] = rng.Uint64()
+			}
+			results = append(results, shardResult{assign: ai, shardIdx: si, det: det})
+		}
+	}
+	want := mergeResults(g, shards, nAssign, results)
+	for trial := 0; trial < 20; trial++ {
+		perm := make([]shardResult, len(results))
+		copy(perm, results)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := mergeResults(g, shards, nAssign, perm)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: merged bitmaps depend on reduction order", trial)
+		}
+	}
+}
+
+// TestShardEquivalence256x256 proves the sharded concurrent evaluation
+// equals a serial single-shard run at scale; under -race it also
+// exercises the pool/reducer for data races.
+func TestShardEquivalence256x256(t *testing.T) {
+	const rows, cols = 256, 256
+	test := march.MarchPF()
+	sharded := &Engine{Workers: 4, ShardLanes: 4096}
+	serial := &Engine{Workers: 1, ShardLanes: rows * cols}
+
+	entries := []march.CatalogEntry{
+		march.ClassicalFaultCatalog()[0],
+		march.PaperFaultCatalog()[0],
+	}
+	for _, e := range entries {
+		a, err := sharded.DetectionBitmaps(test, rows, cols, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := serial.DetectionBitmaps(test, rows, cols, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: sharded and serial bitmaps differ", e.Name)
+		}
+	}
+
+	offsets := []int{1, -1, cols, -cols}
+	for _, e := range march.TwoCellCatalog()[:2] {
+		a, err := sharded.DetectsTwoCellOffsets(test, rows, cols, e, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := serial.DetectsTwoCellOffsets(test, rows, cols, e, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: sharded %+v, serial %+v", e.Name, a, b)
+		}
+	}
+}
+
+// TestShardLanesVariation checks verdicts are invariant under the shard
+// partition itself.
+func TestShardLanesVariation(t *testing.T) {
+	test := march.MarchCMinus()
+	e := march.PaperFaultCatalog()[1]
+	var want march.Detection
+	for i, lanes := range []int{0, 64, 128, 1 << 20} {
+		eng := &Engine{ShardLanes: lanes}
+		got, err := eng.Detects(test, 16, 16, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("ShardLanes=%d: %+v, want %+v", lanes, got, want)
+		}
+	}
+}
+
+func TestMakeShards(t *testing.T) {
+	shards := makeShards(400, 100) // rounds up to 128 lanes
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(shards))
+	}
+	covered := 0
+	for i, sh := range shards {
+		if sh.lo%64 != 0 {
+			t.Errorf("shard %d not word-aligned: lo=%d", i, sh.lo)
+		}
+		if sh.w != (sh.hi-sh.lo+63)/64 {
+			t.Errorf("shard %d word count wrong", i)
+		}
+		covered += sh.hi - sh.lo
+	}
+	if covered != 400 {
+		t.Fatalf("shards cover %d lanes, want 400", covered)
+	}
+}

@@ -28,6 +28,10 @@
 //     Fatal family stops only the calling goroutine and Error races
 //     test completion, so concurrent checks must collect failures and
 //     report them on the test goroutine.
+//   - cells-index: no direct `.cells[...]` indexing outside the memory
+//     simulator package that owns the field; raw indexing bypasses the
+//     fault hooks and the CheckAddr range validation, turning a bad
+//     victim address into a panic instead of an error.
 //
 // Findings are suppressed by a `//lint:ignore <rule> <reason>` comment
 // on the offending line or the line above it.
@@ -62,6 +66,9 @@ type Config struct {
 	// ErrPkgs are package-path suffixes whose error results must not be
 	// discarded (the ignored-error rule).
 	ErrPkgs []string
+	// CellOwnerPkgs are package-path suffixes allowed to index a .cells
+	// field directly (the cells-index rule exempts them).
+	CellOwnerPkgs []string
 }
 
 // DefaultConfig returns the repository configuration: float equality is
@@ -69,9 +76,10 @@ type Config struct {
 // construction paths.
 func DefaultConfig(dir string) Config {
 	return Config{
-		Dir:         dir,
-		FloatEqPkgs: []string{"internal/numeric", "internal/spice", "internal/behav"},
-		ErrPkgs:     []string{"internal/circuit", "internal/dram"},
+		Dir:           dir,
+		FloatEqPkgs:   []string{"internal/numeric", "internal/spice", "internal/behav"},
+		ErrPkgs:       []string{"internal/circuit", "internal/dram"},
+		CellOwnerPkgs: []string{"internal/memsim"},
 	}
 }
 

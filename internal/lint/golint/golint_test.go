@@ -11,10 +11,11 @@ import (
 func fixtureRun(t *testing.T) lint.Findings {
 	t.Helper()
 	fs, err := Run(Config{
-		Dir:         filepath.Join("testdata", "src"),
-		ModulePath:  "example.com/fix",
-		FloatEqPkgs: []string{"internal/numeric"},
-		ErrPkgs:     []string{"internal/circuit"},
+		Dir:           filepath.Join("testdata", "src"),
+		ModulePath:    "example.com/fix",
+		FloatEqPkgs:   []string{"internal/numeric"},
+		ErrPkgs:       []string{"internal/circuit"},
+		CellOwnerPkgs: []string{"internal/sim"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +36,7 @@ func TestFixtureFindingCounts(t *testing.T) {
 		"waveform-nil":       2, // BadChainedTrace, BadChainedTraceLen
 		"branch-freeze":      2, // BadUnfrozenEngine, BadFreezeAfterEngine
 		"goroutine-t-fatal":  5, // GoroutineFatal, GoroutineError, DirectGo, NestedLiteral, SubtestInGoroutine
+		"cells-index":        2, // BadCellsRead, BadCellsWrite
 	}
 	got := map[string]int{}
 	for _, f := range fs {

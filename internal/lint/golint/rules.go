@@ -36,6 +36,9 @@ func (c *checker) run() {
 		c.waveformNil(f)
 		c.branchFreeze(f)
 		c.goroutineTFatal(f)
+		if !pathMatches(c.pkg.path, c.cfg.CellOwnerPkgs) {
+			c.cellsIndex(f)
+		}
 	}
 	for _, f := range c.pkg.testFiles {
 		c.supp = suppressions(f, c.fset)
@@ -46,6 +49,9 @@ func (c *checker) run() {
 		c.waveformNil(f)
 		c.branchFreeze(f)
 		c.goroutineTFatal(f)
+		if !pathMatches(c.pkg.path, c.cfg.CellOwnerPkgs) {
+			c.cellsIndex(f)
+		}
 	}
 }
 
@@ -753,4 +759,28 @@ func testingBParam(ftype *ast.FuncType) (string, bool) {
 		return field.Names[0].Name, true
 	}
 	return "", false
+}
+
+// ---- cells-index ----------------------------------------------------
+
+// cellsIndex flags direct indexing through a `.cells` selector outside
+// the packages that own the field. The memory array's backing store is
+// only safe behind its accessors: raw indexing bypasses the injected
+// fault hooks and the CheckAddr range validation, so an out-of-range
+// victim address panics instead of surfacing as an error. Purely
+// syntactic, so it also covers test files.
+func (c *checker) cellsIndex(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ix.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "cells" {
+			return true
+		}
+		c.add(ix.Pos(), "cells-index",
+			"direct .cells[...] indexing outside the owning simulator package; go through Cell/Write/Read (and CheckAddr for address validation) so fault hooks and range checks apply")
+		return true
+	})
 }

@@ -43,3 +43,11 @@ type Engine struct{}
 
 // NewEngine builds an engine over a (supposedly frozen) circuit.
 func NewEngine(c *Circuit) *Engine { return &Engine{} }
+
+// Mem mimics the owning memory-simulator package: internal/sim is in
+// the fixture run's CellOwnerPkgs, so its direct cells indexing is
+// exempt from the cells-index rule.
+type Mem struct{ cells []int }
+
+// Cell reads the backing store directly — allowed in the owner package.
+func (m *Mem) Cell(addr int) int { return m.cells[addr] }

@@ -1,0 +1,26 @@
+// Fixtures for the cells-index rule: this package is NOT a configured
+// cell owner, so any direct .cells indexing here must be flagged.
+package store
+
+// Grid mimics the memory array's backing store as seen from a package
+// that has no business poking it directly.
+type Grid struct{ cells []int }
+
+// BadCellsRead indexes the backing store directly.
+func BadCellsRead(g *Grid, addr int) int {
+	return g.cells[addr] // want cells-index
+}
+
+// BadCellsWrite pokes a cell behind the fault hooks' back.
+func BadCellsWrite(g *Grid, addr, v int) {
+	g.cells[addr] = v // want cells-index
+}
+
+// SuppressedCells carries an explicit justification.
+func SuppressedCells(g *Grid, addr int) int {
+	//lint:ignore cells-index fixture exercises suppression
+	return g.cells[addr]
+}
+
+// GoodLen uses the field without indexing it.
+func GoodLen(g *Grid) int { return len(g.cells) }

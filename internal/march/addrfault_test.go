@@ -29,7 +29,11 @@ func detectsAF(t *testing.T, tst Test, kind memsim.AFKind) (bool, int, int) {
 					t.Fatalf("inject %v(%d,%d): %v", kind, x, y, err)
 				}
 				total++
-				if len(tst.Run(arr, orders)) > 0 {
+				ms, err := tst.Run(arr, orders)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ms) > 0 {
 					caught++
 				}
 			}

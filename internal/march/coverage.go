@@ -94,20 +94,8 @@ type CoverageResult struct {
 }
 
 // CoverageMatrix evaluates every test against every catalog entry on a
-// rows×cols array with guarantee semantics.
+// rows×cols array with guarantee semantics, using the scalar reference
+// backend. CoverageMatrixWith selects an alternative engine.
 func CoverageMatrix(tests []Test, catalog []CatalogEntry, rows, cols int) ([]CoverageResult, error) {
-	var out []CoverageResult
-	for _, t := range tests {
-		for _, e := range catalog {
-			det, caught, total, err := Detects(t, rows, cols, e.Make)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, CoverageResult{
-				Test: t.Name, Fault: e.Name, Partial: e.Partial,
-				Detected: det, Caught: caught, Scenarios: total,
-			})
-		}
-	}
-	return out, nil
+	return CoverageMatrixWith(ScalarEngine{}, tests, catalog, rows, cols)
 }

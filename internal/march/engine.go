@@ -1,0 +1,92 @@
+package march
+
+import "fmt"
+
+// Detection is one (test, fault family, geometry) detection result
+// under guarantee semantics: Detected means every (victim,
+// order-assignment) scenario — and every (victim, aggressor) pair for
+// coupling faults — produced at least one mismatch; Caught/Scenarios is
+// the partial count. (The prover's three-valued Verdict is a different,
+// static notion.)
+type Detection struct {
+	Detected          bool
+	Caught, Scenarios int
+}
+
+// Engine evaluates march-test fault detection on a geometry. The scalar
+// memsim-backed engine is the semantic oracle; alternative backends
+// (the bit-plane engine in internal/bitsim) must produce identical
+// verdicts on every shared geometry, which the differential equivalence
+// suite enforces. Abstracting the runner here lets the coverage matrix,
+// the differential tests and the fuzz targets swap backends without
+// duplicating the march walk.
+type Engine interface {
+	// Name identifies the backend in reports and diagnostics.
+	Name() string
+	// Detects evaluates a single-cell catalog entry over all victims and
+	// ⇕-order assignments.
+	Detects(t Test, rows, cols int, e CatalogEntry) (Detection, error)
+	// DetectsTwoCell evaluates a two-cell catalog entry over all ordered
+	// (victim, aggressor) pairs and ⇕-order assignments.
+	DetectsTwoCell(t Test, rows, cols int, e TwoCellCatalogEntry) (Detection, error)
+}
+
+// ScalarEngine is the cell-at-a-time reference backend: every scenario
+// runs the full march walk on a fresh memsim array with the fault
+// injected. Exact but O(N²·len) per fault family — the differential
+// oracle, not the production path.
+type ScalarEngine struct{}
+
+// Name identifies the backend.
+func (ScalarEngine) Name() string { return "memsim" }
+
+// Detects evaluates a single-cell entry with the scalar simulator.
+func (ScalarEngine) Detects(t Test, rows, cols int, e CatalogEntry) (Detection, error) {
+	det, caught, total, err := Detects(t, rows, cols, e.Make)
+	return Detection{Detected: det, Caught: caught, Scenarios: total}, err
+}
+
+// DetectsTwoCell evaluates a two-cell entry with the scalar simulator.
+func (ScalarEngine) DetectsTwoCell(t Test, rows, cols int, e TwoCellCatalogEntry) (Detection, error) {
+	det, caught, total, err := DetectsTwoCellEntry(t, rows, cols, e)
+	return Detection{Detected: det, Caught: caught, Scenarios: total}, err
+}
+
+// CoverageMatrixWith evaluates every test against every catalog entry
+// on a rows×cols array using the given backend.
+func CoverageMatrixWith(eng Engine, tests []Test, catalog []CatalogEntry, rows, cols int) ([]CoverageResult, error) {
+	var out []CoverageResult
+	for _, t := range tests {
+		for _, e := range catalog {
+			v, err := eng.Detects(t, rows, cols, e)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s × %s: %w", eng.Name(), t.Name, e.Name, err)
+			}
+			out = append(out, CoverageResult{
+				Test: t.Name, Fault: e.Name, Partial: e.Partial,
+				Detected: v.Detected, Caught: v.Caught, Scenarios: v.Scenarios,
+			})
+		}
+	}
+	return out, nil
+}
+
+// TwoCellCertificateWith builds the two-cell certificate for one test
+// and geometry using the given backend for the exhaustive simulation
+// half (the static pre-pass half is backend-independent).
+func TwoCellCertificateWith(eng Engine, t Test, catalog []TwoCellCatalogEntry, rows, cols int) (TwoCellCertificate, error) {
+	cert := TwoCellCertificate{Test: t.Name, Rows: rows, Cols: cols}
+	for _, e := range catalog {
+		cannot, why := CannotCompleteTwoCell(t, e)
+		v, err := eng.DetectsTwoCell(t, rows, cols, e)
+		if err != nil {
+			return cert, fmt.Errorf("%s: %s × %s: %w", eng.Name(), t.Name, e.Name, err)
+		}
+		cert.Entries = append(cert.Entries, TwoCellCertRow{
+			Entry: e.Name, Class: e.FP.Classify(), Partial: e.Partial,
+			ProvedMiss: cannot, Reason: why,
+			Detected: v.Detected, Caught: v.Caught, Scenarios: v.Scenarios,
+		})
+	}
+	return cert, nil
+}

@@ -74,7 +74,11 @@ func TestMarchPFMatchesPaper(t *testing.T) {
 func TestRunFaultFree(t *testing.T) {
 	for _, tst := range All() {
 		arr := memsim.NewArray(4, 4)
-		if ms := tst.Run(arr, nil); len(ms) != 0 {
+		ms, err := tst.Run(arr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 0 {
 			t.Errorf("%s on fault-free memory reported %v", tst.Name, ms)
 		}
 	}

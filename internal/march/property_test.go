@@ -44,7 +44,8 @@ func TestRandomMarchTestsFaultFreeProperty(t *testing.T) {
 		}
 		for _, orders := range tst.OrderAssignments() {
 			arr := memsim.NewArray(3, 3)
-			if ms := tst.Run(arr, orders); len(ms) != 0 {
+			ms, err := tst.Run(arr, orders)
+			if err != nil || len(ms) != 0 {
 				return false
 			}
 		}
@@ -88,7 +89,8 @@ func TestStuckAtAlwaysCaughtProperty(t *testing.T) {
 		if err := arr.Inject(e.Make(victim)); err != nil {
 			return false
 		}
-		return len(tst.Run(arr, nil)) > 0
+		ms, err := tst.Run(arr, nil)
+		return err == nil && len(ms) > 0
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -23,8 +23,10 @@ func (m Mismatch) String() string {
 
 // Run executes the test on the array. anyOrders fixes the concrete order
 // of each ⇕ element (indexed by occurrence; missing entries default to
-// Up). It returns every read mismatch.
-func (t Test) Run(arr *memsim.Array, anyOrders []Order) []Mismatch {
+// Up). It returns every read mismatch. Addresses are validated against
+// the array before each operation, so a malformed geometry surfaces as
+// an error from the walk rather than a panic out of the simulator.
+func (t Test) Run(arr *memsim.Array, anyOrders []Order) ([]Mismatch, error) {
 	var out []Mismatch
 	anyIdx := 0
 	for ei, e := range t.Elements {
@@ -42,6 +44,9 @@ func (t Test) Run(arr *memsim.Array, anyOrders []Order) []Mismatch {
 			if order == Down {
 				addr = n - 1 - k
 			}
+			if err := arr.CheckAddr(addr); err != nil {
+				return out, fmt.Errorf("march: element %d: %w", ei, err)
+			}
 			for oi, op := range e.Ops {
 				if !op.Read {
 					arr.Write(addr, op.Data)
@@ -56,7 +61,7 @@ func (t Test) Run(arr *memsim.Array, anyOrders []Order) []Mismatch {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // OrderAssignments enumerates all 2^k concrete order choices for the
@@ -91,6 +96,9 @@ func Detects(t Test, rows, cols int, mk func(victim int) memsim.Fault) (bool, in
 	if err := t.Validate(); err != nil {
 		return false, 0, 0, err
 	}
+	if rows <= 0 || cols <= 0 {
+		return false, 0, 0, fmt.Errorf("march: invalid geometry %dx%d", rows, cols)
+	}
 	assignments := t.OrderAssignments()
 	caught, total := 0, 0
 	for victim := 0; victim < rows*cols; victim++ {
@@ -100,7 +108,11 @@ func Detects(t Test, rows, cols int, mk func(victim int) memsim.Fault) (bool, in
 				return false, 0, 0, err
 			}
 			total++
-			if len(t.Run(arr, orders)) > 0 {
+			mm, err := t.Run(arr, orders)
+			if err != nil {
+				return false, 0, 0, err
+			}
+			if len(mm) > 0 {
 				caught++
 			}
 		}

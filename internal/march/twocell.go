@@ -1,6 +1,8 @@
 package march
 
 import (
+	"fmt"
+
 	"github.com/memtest/partialfaults/internal/fp"
 	"github.com/memtest/partialfaults/internal/memsim"
 )
@@ -25,6 +27,9 @@ func detectsTwoCell(t Test, rows, cols int, build func(victim, aggressor int) me
 	if err := t.Validate(); err != nil {
 		return false, 0, 0, err
 	}
+	if rows <= 0 || cols <= 0 {
+		return false, 0, 0, fmt.Errorf("march: invalid geometry %dx%d", rows, cols)
+	}
 	assignments := t.OrderAssignments()
 	caught, total := 0, 0
 	n := rows * cols
@@ -39,7 +44,11 @@ func detectsTwoCell(t Test, rows, cols int, build func(victim, aggressor int) me
 					return false, 0, 0, err
 				}
 				total++
-				if len(t.Run(arr, orders)) > 0 {
+				mm, err := t.Run(arr, orders)
+				if err != nil {
+					return false, 0, 0, err
+				}
+				if len(mm) > 0 {
 					caught++
 				}
 			}
@@ -99,22 +108,9 @@ func (c TwoCellCertificate) Violations() []TwoCellCertRow {
 }
 
 // TwoCellCertificateFor builds the certificate for one test and
-// geometry over a catalog.
+// geometry over a catalog with the scalar reference backend.
 func TwoCellCertificateFor(t Test, catalog []TwoCellCatalogEntry, rows, cols int) (TwoCellCertificate, error) {
-	cert := TwoCellCertificate{Test: t.Name, Rows: rows, Cols: cols}
-	for _, e := range catalog {
-		cannot, why := CannotCompleteTwoCell(t, e)
-		det, caught, total, err := DetectsTwoCellEntry(t, rows, cols, e)
-		if err != nil {
-			return cert, err
-		}
-		cert.Entries = append(cert.Entries, TwoCellCertRow{
-			Entry: e.Name, Class: e.FP.Classify(), Partial: e.Partial,
-			ProvedMiss: cannot, Reason: why,
-			Detected: det, Caught: caught, Scenarios: total,
-		})
-	}
-	return cert, nil
+	return TwoCellCertificateWith(ScalarEngine{}, t, catalog, rows, cols)
 }
 
 // EvaluateTwoCellCoverage runs a test against all 36 static two-cell FPs.

@@ -87,9 +87,22 @@ func (a *Array) Cell(addr int) int {
 // OpCount returns the number of operations performed so far.
 func (a *Array) OpCount() int { return a.ops }
 
-func (a *Array) check(addr int) {
+// CheckAddr reports whether an address is inside the array, as an error
+// suitable for callers that drive the array from computed address
+// streams (the march runner). The internal accessors keep panicking on
+// violations — an out-of-range address inside the simulator is a bug,
+// not an input condition — but external walks should validate with
+// CheckAddr and propagate instead of relying on that panic.
+func (a *Array) CheckAddr(addr int) error {
 	if addr < 0 || addr >= len(a.cells) {
-		panic(fmt.Sprintf("memsim: address %d out of range [0,%d)", addr, len(a.cells)))
+		return fmt.Errorf("memsim: address %d out of range [0,%d)", addr, len(a.cells))
+	}
+	return nil
+}
+
+func (a *Array) check(addr int) {
+	if err := a.CheckAddr(addr); err != nil {
+		panic(err.Error())
 	}
 }
 
