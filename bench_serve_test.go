@@ -1,0 +1,100 @@
+package partialfaults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/service"
+)
+
+// BenchmarkServeLoad load-tests the analysis service over real HTTP:
+// at least eight concurrent clients fire a mixed request stream
+// (inventory sweeps, coverage matrices, detection proofs, merge
+// predictions) at a pfserve instance backed by a persistent store. One
+// iteration is one served request. Metrics: sustained requests/s across
+// the whole run, the store hit fraction, and how many requests the
+// singleflight layer collapsed into another caller's flight — the two
+// mechanisms the service layer adds over the bare pipeline.
+func BenchmarkServeLoad(b *testing.B) {
+	srv, err := service.New(service.Config{StoreDir: b.TempDir(), Parallelism: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	requests := []struct{ path, body string }{
+		{"/v1/inventory", `{"opens":[1,4],"rdefs":[1e4,1e5,1e6],"us":[0,1.1,2.2,3.3]}`},
+		{"/v1/coverage", `{"tests":["MATS+"],"rows":3,"cols":2}`},
+		{"/v1/matrix", `{"tests":["March PF"]}`},
+		{"/v1/predict", `{"defects":[{"site":"bridge.bl.bl","ohms":2e6}]}`},
+		{"/v1/inventory", `{"opens":[5],"rdefs":[1e4,1e6],"us":[0,3.3]}`},
+		{"/v1/twocell", `{"test":"MATS+","rows":3,"cols":2,"offsets":[1,-1]}`},
+	}
+
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+	var seq atomic.Uint64
+	b.SetParallelism(8) // ≥8 concurrent clients even on a single-CPU host
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := requests[seq.Add(1)%uint64(len(requests))]
+			resp, err := client.Post(ts.URL+r.path, "application/json", bytes.NewReader([]byte(r.body)))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("%s: status %d: %s", r.path, resp.StatusCode, body)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "req/s")
+	}
+	var m struct {
+		SingleflightCollapsed float64 `json:"singleflight_collapsed"`
+		Store                 *struct {
+			Hits   float64 `json:"hits"`
+			Misses float64 `json:"misses"`
+		} `json:"store"`
+	}
+	if err := getJSON(client, ts.URL+"/v1/metrics", &m); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(m.SingleflightCollapsed, "collapsed")
+	if m.Store != nil && m.Store.Hits+m.Store.Misses > 0 {
+		b.ReportMetric(m.Store.Hits/(m.Store.Hits+m.Store.Misses), "store-hit-frac")
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(buf, v)
+}

@@ -33,9 +33,10 @@ type benchResult struct {
 // set — to "1" for the date-stamped default filename, or to an explicit
 // *.json path. The tracked set covers the performance layer's acceptance
 // benchmarks (the Table 1 pipeline, the electrical plane sweeps naive
-// versus pooled, the two per-operation unit costs, and the bit-plane
-// versus scalar march engines). testing.Benchmark honours -benchtime,
-// so CI smoke runs can pass -benchtime 1x.
+// versus pooled, the two per-operation unit costs, the bit-plane versus
+// scalar march engines, and the analysis service under concurrent HTTP
+// load). testing.Benchmark honours -benchtime, so CI smoke runs can
+// pass -benchtime 1x.
 func TestBenchSnapshot(t *testing.T) {
 	dest := os.Getenv("BENCH_SNAPSHOT")
 	if dest == "" {
@@ -55,6 +56,7 @@ func TestBenchSnapshot(t *testing.T) {
 		{"BenchmarkBehavOperation", BenchmarkBehavOperation},
 		{"BenchmarkBitsimMarchPF", BenchmarkBitsimMarchPF},
 		{"BenchmarkMemsimMarchPF", BenchmarkMemsimMarchPF},
+		{"BenchmarkServeLoad", BenchmarkServeLoad},
 	}
 	snap := benchSnapshot{
 		Date:      time.Now().UTC().Format(time.RFC3339),

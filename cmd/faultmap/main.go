@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -44,60 +45,82 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		openID    = flag.Int("open", 4, "open defect number (1-9, Figure 2)")
-		sosStr    = flag.String("sos", "1r1", "sensitizing operation sequence or fault primitive")
-		floatVar  = flag.String("float", "", "floating voltage to sweep (default: the open's primary group)")
-		engine    = flag.String("engine", "behav", "simulation engine: behav (analytical) or spice (transient)")
-		rdefMin   = flag.Float64("rdef-min", 1e3, "minimum open resistance [Ω]")
-		rdefMax   = flag.Float64("rdef-max", 1e7, "maximum open resistance [Ω]")
-		rdefSteps = flag.Int("rdef-steps", 13, "log-spaced resistance steps")
-		uMin      = flag.Float64("u-min", 0, "minimum floating voltage [V]")
-		uMax      = flag.Float64("u-max", 3.3, "maximum floating voltage [V]")
-		uSteps    = flag.Int("u-steps", 12, "linear voltage steps")
-		csv       = flag.Bool("csv", false, "emit CSV instead of the ASCII map")
-		doLint    = flag.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
-		predict   = flag.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
-		defSite   = flag.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
-		twoCell   = flag.String("twocell", "", "march test name (or \"all\") whose two-cell coverage certificate to print; exits nonzero on an unsound certificate")
-		marchEng  = flag.String("march-engine", "memsim", "march simulation backend for -twocell: memsim (scalar oracle) or bitsim (bit-plane)")
-		proveTest = flag.String("prove", "", "march test name (or \"all\") whose static three-valued detection matrix to print; exits nonzero when the prover and the completion pre-pass disagree")
+		openID    = fs.Int("open", 4, "open defect number (1-9, Figure 2)")
+		sosStr    = fs.String("sos", "1r1", "sensitizing operation sequence or fault primitive")
+		floatVar  = fs.String("float", "", "floating voltage to sweep (default: the open's primary group)")
+		engine    = fs.String("engine", "behav", "simulation engine: behav (analytical) or spice (transient)")
+		rdefMin   = fs.Float64("rdef-min", 1e3, "minimum open resistance [Ω]")
+		rdefMax   = fs.Float64("rdef-max", 1e7, "maximum open resistance [Ω]")
+		rdefSteps = fs.Int("rdef-steps", 13, "log-spaced resistance steps")
+		uMin      = fs.Float64("u-min", 0, "minimum floating voltage [V]")
+		uMax      = fs.Float64("u-max", 3.3, "maximum floating voltage [V]")
+		uSteps    = fs.Int("u-steps", 12, "linear voltage steps")
+		csv       = fs.Bool("csv", false, "emit CSV instead of the ASCII map")
+		doLint    = fs.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
+		predict   = fs.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
+		defSite   = fs.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
+		twoCell   = fs.String("twocell", "", "march test name (or \"all\") whose two-cell coverage certificate to print; exits nonzero on an unsound certificate")
+		marchEng  = fs.String("march-engine", "memsim", "march simulation backend for -twocell: memsim (scalar oracle) or bitsim (bit-plane)")
+		proveTest = fs.String("prove", "", "march test name (or \"all\") whose static three-valued detection matrix to print; exits nonzero when the prover and the completion pre-pass disagree")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "faultmap: "+format+"\n", a...)
+		return 1
+	}
 
 	if *doLint {
-		preflight()
+		if err := preflight(stderr); err != nil {
+			return fail("%v", err)
+		}
 	}
 
 	if *proveTest != "" {
-		detectionMatrix(*proveTest)
-		return
+		if err := detectionMatrix(stdout, *proveTest); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 	if *twoCell != "" {
-		twoCellCertificates(*twoCell, *marchEng)
-		return
+		if err := twoCellCertificates(stdout, *twoCell, *marchEng); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 	if *defSite != "" {
-		predictMerge(*defSite)
-		return
+		if err := predictMerge(stdout, *defSite); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 	open, ok := defect.ByID(*openID)
 	if !ok {
-		fatalf("unknown open %d; the paper defines opens 1-9", *openID)
+		return fail("unknown open %d; the paper defines opens 1-9", *openID)
 	}
 	if *predict {
-		predictFloats(open)
-		return
+		if err := predictFloats(stdout, open); err != nil {
+			return fail("%v", err)
+		}
+		return 0
 	}
 	sos, err := parseSOSOrFP(*sosStr)
 	if err != nil {
-		fatalf("bad -sos: %v", err)
+		return fail("bad -sos: %v", err)
 	}
 	group := open.Floats[0]
 	if *floatVar != "" {
 		g, ok := open.Float(defect.FloatVar(*floatVar))
 		if !ok {
-			fatalf("open %d has no floating group %q", *openID, *floatVar)
+			return fail("open %d has no floating group %q", *openID, *floatVar)
 		}
 		group = g
 	}
@@ -108,7 +131,7 @@ func main() {
 	case "spice":
 		factory = analysis.NewSpiceFactory(dram.Default())
 	default:
-		fatalf("unknown engine %q", *engine)
+		return fail("unknown engine %q", *engine)
 	}
 
 	plane, err := analysis.SweepPlane(analysis.SweepConfig{
@@ -117,21 +140,22 @@ func main() {
 		Us:    numeric.Linspace(*uMin, *uMax, *uSteps),
 	})
 	if err != nil {
-		fatalf("sweep: %v", err)
+		return fail("sweep: %v", err)
 	}
 	if *csv {
-		if err := report.WritePlaneCSV(os.Stdout, plane); err != nil {
-			fatalf("csv: %v", err)
+		if err := report.WritePlaneCSV(stdout, plane); err != nil {
+			return fail("csv: %v", err)
 		}
-		return
+		return 0
 	}
-	if err := report.WritePlane(os.Stdout, plane); err != nil {
-		fatalf("map: %v", err)
+	if err := report.WritePlane(stdout, plane); err != nil {
+		return fail("map: %v", err)
 	}
 	for _, f := range analysis.IdentifyPartialFaults(plane) {
-		fmt.Printf("partial fault: %s observed only for U ∈ [%.2f, %.2f] V (e.g. %s)\n",
+		fmt.Fprintf(stdout, "partial fault: %s observed only for U ∈ [%.2f, %.2f] V (e.g. %s)\n",
 			f.FFM, f.ULow, f.UHigh, f.Example)
 	}
+	return 0
 }
 
 func parseSOSOrFP(s string) (fp.SOS, error) {
@@ -150,16 +174,17 @@ func parseSOSOrFP(s string) (fp.SOS, error) {
 // groups. Primary nets lose their only DC drive path when the open's
 // site element is cut; secondary nets are starved transitively because a
 // floating control net stops reaching their access gates.
-func predictFloats(open defect.Open) {
+func predictFloats(w io.Writer, open defect.Open) error {
 	col, err := dram.NewColumn(dram.Default())
 	if err != nil {
-		fatalf("predict: %v", err)
+		return fmt.Errorf("predict: %v", err)
 	}
 	az := netlint.New(col.Circuit(), dram.LintModel())
 	pred := az.PredictFloats([]string{dram.SiteElementName(open.Site)})
-	fmt.Printf("open %d cuts element %s\n", open.ID, dram.SiteElementName(open.Site))
-	fmt.Printf("primary floats:   %s\n", joinOrNone(pred.Primary))
-	fmt.Printf("secondary floats: %s\n", joinOrNone(pred.Secondary))
+	fmt.Fprintf(w, "open %d cuts element %s\n", open.ID, dram.SiteElementName(open.Site))
+	fmt.Fprintf(w, "primary floats:   %s\n", joinOrNone(pred.Primary))
+	fmt.Fprintf(w, "secondary floats: %s\n", joinOrNone(pred.Secondary))
+	return nil
 }
 
 // predictMerge prints the net-merge verdict table for one or more
@@ -169,7 +194,7 @@ func predictFloats(open defect.Open) {
 // merged class is supply-stuck or contested per phase, how each weak
 // bridge's divider resolves, and the (empty) floating prediction — the
 // paper's Section 2 negative result, proven statically.
-func predictMerge(arg string) {
+func predictMerge(w io.Writer, arg string) error {
 	catalog := map[string]defect.ShortOrBridge{}
 	var sites []string
 	for _, s := range defect.ShortsAndBridges() {
@@ -184,31 +209,32 @@ func predictMerge(arg string) {
 			site = part[:at]
 			v, err := strconv.ParseFloat(part[at+1:], 64)
 			if err != nil || v < 0 {
-				fatalf("bad resistance in %q; want e.g. %s@2e3", part, site)
+				return fmt.Errorf("bad resistance in %q; want e.g. %s@2e3", part, site)
 			}
 			ohms = v
 		}
 		sb, ok := catalog[site]
 		if !ok {
-			fatalf("unknown defect site %q; catalog: %s", site, strings.Join(sites, ", "))
+			return fmt.Errorf("unknown defect site %q; catalog: %s", site, strings.Join(sites, ", "))
 		}
-		fmt.Printf("%s: %s\n", sb.Name(), sb.Description)
+		fmt.Fprintf(w, "%s: %s\n", sb.Name(), sb.Description)
 		spec.Elems = append(spec.Elems, netlint.MergeElem{
 			Name: dram.SiteElementName(site), Ohms: ohms,
 		})
 	}
 	col, err := dram.NewColumn(dram.Default())
 	if err != nil {
-		fatalf("predict: %v", err)
+		return fmt.Errorf("predict: %v", err)
 	}
 	az := netlint.New(col.Circuit(), dram.LintModel())
 	pred, err := az.PredictMergeSet(spec)
 	if err != nil {
-		fatalf("predict: %v", err)
+		return fmt.Errorf("predict: %v", err)
 	}
-	if err := report.WriteMergePrediction(os.Stdout, pred); err != nil {
-		fatalf("predict: %v", err)
+	if err := report.WriteMergePrediction(w, pred); err != nil {
+		return fmt.Errorf("predict: %v", err)
 	}
+	return nil
 }
 
 // twoCellCertificates prints the two-cell coverage certificate for the
@@ -218,7 +244,7 @@ func predictMerge(arg string) {
 // statically proved miss was caught dynamically. The engine name picks
 // the simulation backend (the bit-plane engine produces identical
 // verdicts; useful for cross-checking and for larger geometries).
-func twoCellCertificates(name, engineName string) {
+func twoCellCertificates(w io.Writer, name, engineName string) error {
 	var eng march.Engine
 	switch engineName {
 	case "memsim":
@@ -226,68 +252,63 @@ func twoCellCertificates(name, engineName string) {
 	case "bitsim":
 		eng = bitsim.New()
 	default:
-		fatalf("unknown -march-engine %q (want memsim or bitsim)", engineName)
+		return fmt.Errorf("unknown -march-engine %q (want memsim or bitsim)", engineName)
 	}
-	var tests []march.Test
-	if name == "all" {
-		tests = march.All()
-	} else {
-		for _, t := range march.All() {
-			if t.Name == name {
-				tests = []march.Test{t}
-				break
-			}
-		}
-		if len(tests) == 0 {
-			fatalf("unknown march test %q; use \"all\" or one of the library names", name)
-		}
+	tests, err := testsNamed(name)
+	if err != nil {
+		return err
 	}
 	unsound := false
 	for _, t := range tests {
 		cert, err := march.TwoCellCertificateWith(eng, t, march.TwoCellCatalog(), 4, 2)
 		if err != nil {
-			fatalf("twocell: %v", err)
+			return fmt.Errorf("twocell: %v", err)
 		}
-		if err := report.WriteTwoCellCoverage(os.Stdout, cert); err != nil {
-			fatalf("twocell: %v", err)
+		if err := report.WriteTwoCellCoverage(w, cert); err != nil {
+			return fmt.Errorf("twocell: %v", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if len(cert.Violations()) > 0 {
 			unsound = true
 		}
 	}
 	if unsound {
-		fatalf("twocell: at least one certificate is unsound")
+		return fmt.Errorf("twocell: at least one certificate is unsound")
 	}
+	return nil
 }
 
 // detectionMatrix prints the static three-valued detection matrix for
 // the named march test ("all" for the whole library) against the
 // paper's partial-fault catalog and the two-cell coupling catalog, and
-// exits nonzero when any completion-pre-pass cannot-complete claim is
-// not confirmed as a proved miss.
-func detectionMatrix(name string) {
-	var tests []march.Test
-	if name == "all" {
-		tests = march.All()
-	} else {
-		for _, t := range march.All() {
-			if t.Name == name {
-				tests = []march.Test{t}
-				break
-			}
-		}
-		if len(tests) == 0 {
-			fatalf("unknown march test %q; use \"all\" or one of the library names", name)
-		}
+// errors when any completion-pre-pass cannot-complete claim is not
+// confirmed as a proved miss.
+func detectionMatrix(w io.Writer, name string) error {
+	tests, err := testsNamed(name)
+	if err != nil {
+		return err
 	}
 	m := march.BuildDetectionMatrix(tests, march.PaperFaultCatalog(), march.TwoCellCatalog())
-	if err := report.WriteDetectionMatrix(os.Stdout, m); err != nil {
-		fatalf("prove: %v", err)
+	if err := report.WriteDetectionMatrix(w, m); err != nil {
+		return fmt.Errorf("prove: %v", err)
 	}
 	if len(m.Drift()) > 0 {
-		fatalf("prove: the detection prover and the completion pre-pass disagree")
+		return fmt.Errorf("prove: the detection prover and the completion pre-pass disagree")
 	}
+	return nil
+}
+
+// testsNamed resolves a march test name, or "all" for the library.
+func testsNamed(name string) ([]march.Test, error) {
+	if name == "all" {
+		return march.All(), nil
+	}
+	for _, t := range march.All() {
+		if t.Name == name {
+			return []march.Test{t}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown march test %q; use \"all\" or one of the library names", name)
 }
 
 func joinOrNone(nets []string) string {
@@ -299,20 +320,16 @@ func joinOrNone(nets []string) string {
 
 // preflight runs the static netlist, inventory and march checks and
 // aborts before any simulation when they find an error.
-func preflight() {
+func preflight(stderr io.Writer) error {
 	findings, err := analysis.Preflight(dram.Default())
 	if err != nil {
-		fatalf("lint: %v", err)
+		return fmt.Errorf("lint: %v", err)
 	}
-	if err := report.WriteFindings(os.Stderr, findings, lint.Warning); err != nil {
-		fatalf("lint: %v", err)
+	if err := report.WriteFindings(stderr, findings, lint.Warning); err != nil {
+		return fmt.Errorf("lint: %v", err)
 	}
 	if findings.Count(lint.Error) > 0 {
-		fatalf("lint: static analysis failed; not simulating")
+		return fmt.Errorf("lint: static analysis failed; not simulating")
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "faultmap: "+format+"\n", args...)
-	os.Exit(1)
+	return nil
 }

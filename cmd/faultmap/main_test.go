@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-open", "42"},
+		{"-engine", "verilog"},
+		{"-sos", "not an sos"},
+		{"-open", "4", "-float", "Imaginary line"},
+		{"-defect", "nowhere"},
+		{"-defect", "short.bl.vdd@-5"},
+		{"-twocell", "March ZZ"},
+		{"-twocell", "MATS+", "-march-engine", "quantum"},
+		{"-prove", "March ZZ"},
+	}
+	for _, args := range cases {
+		code, _, errw := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("run(%v) succeeded, want failure", args)
+		}
+		if errw == "" {
+			t.Errorf("run(%v) failed silently", args)
+		}
+	}
+}
+
+func TestRunFaultMap(t *testing.T) {
+	code, out, errw := runCLI(t,
+		"-open", "4", "-sos", "1r1",
+		"-rdef-steps", "3", "-u-steps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "R_def") && !strings.Contains(out, "U") {
+		t.Fatalf("map output:\n%s", out)
+	}
+}
+
+func TestRunFaultMapCSV(t *testing.T) {
+	code, out, errw := runCLI(t,
+		"-open", "4", "-sos", "1r1", "-csv",
+		"-rdef-steps", "3", "-u-steps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, ",") || len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestRunPredictFloats(t *testing.T) {
+	code, out, errw := runCLI(t, "-open", "4", "-predict")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "primary floats") {
+		t.Fatalf("predict output:\n%s", out)
+	}
+}
+
+func TestRunPredictMerge(t *testing.T) {
+	code, out, errw := runCLI(t, "-defect", "bridge.bl.bl@2e6")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "bridge") {
+		t.Fatalf("merge output:\n%s", out)
+	}
+}
+
+func TestRunProveAndTwoCell(t *testing.T) {
+	code, out, errw := runCLI(t, "-prove", "March PF")
+	if code != 0 {
+		t.Fatalf("prove exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "static detection matrix") {
+		t.Fatalf("prove output:\n%s", out)
+	}
+	code, out, errw = runCLI(t, "-twocell", "MATS+")
+	if code != 0 {
+		t.Fatalf("twocell exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "certificate") {
+		t.Fatalf("twocell output:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@
 //	marchsim -test custom -notation "{m(w0); u(r0,w1); d(r1,w0)}"
 //	marchsim -fault "<1v [w0BL] r1v/0/0>" -float "Bit line"
 //	marchsim -test "March C-" -twocell    # two-cell coverage certificate
+//	marchsim -test "March C-" -twocell -offsets 1,-1,64,-64
 //	marchsim -test "March PF" -prove      # static three-valued detection matrix
 //	marchsim -engine bitsim -geometry 1024x1024 -test "March PF"
 package main
@@ -16,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -29,27 +31,47 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("marchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		testName = flag.String("test", "", "run only the named test (default: whole library)")
-		notation = flag.String("notation", "", "march notation for a custom -test")
-		faultStr = flag.String("fault", "", "single fault primitive to evaluate (default: full catalog)")
-		floatVar = flag.String("float", "Bit line", "mediating floating voltage for a partial -fault")
-		rows     = flag.Int("rows", 4, "array rows")
-		cols     = flag.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
-		geometry = flag.String("geometry", "", "array geometry as ROWSxCOLS (e.g. 1024x1024); overrides -rows/-cols")
-		engine   = flag.String("engine", "memsim", "simulation backend: memsim (scalar oracle) or bitsim (bit-plane, for megabit arrays)")
-		doLint   = flag.Bool("lint", false, "lint the tests and print the static completion pre-passes before simulating")
-		twoCell  = flag.Bool("twocell", false, "emit the two-cell coverage certificate (static pre-pass checked against the exhaustive coupling-fault simulation) instead of the single-cell matrix")
-		prove    = flag.Bool("prove", false, "emit the static three-valued detection matrix (proved Detects/Misses verdicts over all geometries and orders) instead of simulating")
+		testName = fs.String("test", "", "run only the named test (default: whole library)")
+		notation = fs.String("notation", "", "march notation for a custom -test")
+		faultStr = fs.String("fault", "", "single fault primitive to evaluate (default: full catalog)")
+		floatVar = fs.String("float", "Bit line", "mediating floating voltage for a partial -fault")
+		rows     = fs.Int("rows", 4, "array rows")
+		cols     = fs.Int("cols", 2, "array columns (cells per row; same column = same bit line)")
+		geometry = fs.String("geometry", "", "array geometry as ROWSxCOLS (e.g. 1024x1024); overrides -rows/-cols")
+		engine   = fs.String("engine", "memsim", "simulation backend: memsim (scalar oracle) or bitsim (bit-plane, for megabit arrays)")
+		doLint   = fs.Bool("lint", false, "lint the tests and print the static completion pre-passes before simulating")
+		twoCell  = fs.Bool("twocell", false, "emit the two-cell coverage certificate (static pre-pass checked against the exhaustive coupling-fault simulation) instead of the single-cell matrix")
+		offsets  = fs.String("offsets", "", "with -twocell: comma-separated aggressor offsets δ (aggressor = victim + δ), e.g. 1,-1,64,-64; empty = all ordered pairs")
+		prove    = fs.Bool("prove", false, "emit the static three-valued detection matrix (proved Detects/Misses verdicts over all geometries and orders) instead of simulating")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "marchsim: "+format+"\n", a...)
+		return 1
+	}
 
 	if *geometry != "" {
 		r, c, err := parseGeometry(*geometry)
 		if err != nil {
-			fatalf("bad -geometry: %v", err)
+			return fail("bad -geometry: %v", err)
 		}
 		*rows, *cols = r, c
+	}
+	deltas, err := parseOffsets(*offsets)
+	if err != nil {
+		return fail("bad -offsets: %v", err)
+	}
+	if deltas != nil && !*twoCell {
+		return fail("-offsets only applies with -twocell")
 	}
 	var eng march.Engine
 	switch *engine {
@@ -58,7 +80,7 @@ func main() {
 	case "bitsim":
 		eng = bitsim.New()
 	default:
-		fatalf("unknown -engine %q (want memsim or bitsim)", *engine)
+		return fail("unknown -engine %q (want memsim or bitsim)", *engine)
 	}
 
 	tests := march.All()
@@ -66,7 +88,7 @@ func main() {
 		if *notation != "" {
 			t, err := march.Parse(*testName, *notation)
 			if err != nil {
-				fatalf("bad -notation: %v", err)
+				return fail("bad -notation: %v", err)
 			}
 			tests = []march.Test{t}
 		} else {
@@ -79,7 +101,7 @@ func main() {
 				}
 			}
 			if !found {
-				fatalf("unknown test %q (and no -notation given)", *testName)
+				return fail("unknown test %q (and no -notation given)", *testName)
 			}
 		}
 	}
@@ -88,7 +110,7 @@ func main() {
 	if *faultStr != "" {
 		p, err := fp.Parse(*faultStr)
 		if err != nil {
-			fatalf("bad -fault: %v", err)
+			return fail("bad -fault: %v", err)
 		}
 		catalog = []march.CatalogEntry{{
 			Name: p.String(), FP: p,
@@ -98,21 +120,21 @@ func main() {
 	}
 
 	for _, t := range tests {
-		fmt.Printf("%-9s (%2dN): %s\n", t.Name, t.Length(), t)
+		fmt.Fprintf(stdout, "%-9s (%2dN): %s\n", t.Name, t.Length(), t)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	if *doLint {
 		findings := march.LintAll(tests)
 		findings = append(findings, march.CompletionPrePass(tests, catalog)...)
 		findings = append(findings, march.TwoCellCompletionPrePass(tests, march.TwoCellCatalog())...)
 		findings.Sort()
-		if err := report.WriteFindings(os.Stdout, findings, lint.Info); err != nil {
-			fatalf("lint: %v", err)
+		if err := report.WriteFindings(stdout, findings, lint.Info); err != nil {
+			return fail("lint: %v", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if findings.Count(lint.Error) > 0 {
-			fatalf("lint: the selected tests are statically broken; not simulating")
+			return fail("lint: the selected tests are statically broken; not simulating")
 		}
 	}
 
@@ -124,59 +146,63 @@ func main() {
 			twos = nil
 		}
 		m := march.BuildDetectionMatrix(tests, catalog, twos)
-		if err := report.WriteDetectionMatrix(os.Stdout, m); err != nil {
-			fatalf("report: %v", err)
+		if err := report.WriteDetectionMatrix(stdout, m); err != nil {
+			return fail("report: %v", err)
 		}
 		if len(m.Drift()) > 0 {
-			fatalf("prove: the detection prover and the completion pre-pass disagree")
+			return fail("prove: the detection prover and the completion pre-pass disagree")
 		}
-		return
+		return 0
 	}
 
 	if *twoCell {
 		unsound := false
 		for _, t := range tests {
-			cert, err := march.TwoCellCertificateWith(eng, t, march.TwoCellCatalog(), *rows, *cols)
+			cert, err := march.TwoCellCertificateOffsetsWith(eng, t, march.TwoCellCatalog(), *rows, *cols, deltas)
 			if err != nil {
-				fatalf("twocell: %v", err)
+				return fail("twocell: %v", err)
 			}
-			if err := report.WriteTwoCellCoverage(os.Stdout, cert); err != nil {
-				fatalf("report: %v", err)
+			if err := report.WriteTwoCellCoverage(stdout, cert); err != nil {
+				return fail("report: %v", err)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			if len(cert.Violations()) > 0 {
 				unsound = true
 			}
 		}
 		if unsound {
-			fatalf("twocell: at least one certificate is unsound")
+			return fail("twocell: at least one certificate is unsound")
 		}
-		return
+		return 0
 	}
 
 	results, err := march.CoverageMatrixWith(eng, tests, catalog, *rows, *cols)
 	if err != nil {
-		fatalf("coverage: %v", err)
+		return fail("coverage: %v", err)
 	}
 	names := make([]string, len(tests))
 	for i, t := range tests {
 		names[i] = t.Name
 	}
-	if err := report.WriteCoverage(os.Stdout, results, names); err != nil {
-		fatalf("report: %v", err)
+	if err := report.WriteCoverage(stdout, results, names); err != nil {
+		return fail("report: %v", err)
 	}
+	return 0
 }
 
+// parseGeometry parses strict ROWSxCOLS. Exactly one "x" is allowed:
+// "1024x1024x2" (a 3-D geometry the array model has no notion of) is an
+// error, not a silent truncation.
 func parseGeometry(s string) (rows, cols int, err error) {
-	r, c, ok := strings.Cut(s, "x")
-	if !ok {
-		return 0, 0, fmt.Errorf("want ROWSxCOLS, got %q", s)
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want ROWSxCOLS (exactly one 'x'), got %q", s)
 	}
-	rows, err = strconv.Atoi(r)
+	rows, err = strconv.Atoi(parts[0])
 	if err != nil {
 		return 0, 0, fmt.Errorf("bad rows in %q: %v", s, err)
 	}
-	cols, err = strconv.Atoi(c)
+	cols, err = strconv.Atoi(parts[1])
 	if err != nil {
 		return 0, 0, fmt.Errorf("bad columns in %q: %v", s, err)
 	}
@@ -186,7 +212,29 @@ func parseGeometry(s string) (rows, cols int, err error) {
 	return rows, cols, nil
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "marchsim: "+format+"\n", args...)
-	os.Exit(1)
+// parseOffsets parses a comma-separated aggressor-offset list. Empty
+// input means nil (full pair space); zero and duplicate offsets are
+// rejected here so the error names the flag rather than surfacing from
+// deep inside the walk.
+func parseOffsets(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad offset %q: %v", f, err)
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("offset 0 is not a neighbour")
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("duplicate offset %d", d)
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out, nil
 }

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bootServer starts pfserve on an ephemeral port and returns its base
+// URL. The serve goroutine dies with the test process; the OS reclaims
+// the listener.
+func bootServer(t *testing.T, extra ...string) string {
+	t.Helper()
+	ready := make(chan string, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go run(args, io_Discard{}, io_Discard{}, ready)
+	select {
+	case addr := <-ready:
+		return "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not come up")
+		return ""
+	}
+}
+
+type io_Discard struct{}
+
+func (io_Discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw, nil); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "flag") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-addr", "999.999.999.999:1"}, &out, &errw, nil); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestServeHealthzAndMatrix(t *testing.T) {
+	base := bootServer(t, "-store", t.TempDir())
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"tests":["MATS+"]}`)
+	resp, err = http.Post(base+"/v1/matrix", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matrix: %d", resp.StatusCode)
+	}
+	var env struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Result) == 0 {
+		t.Fatal("empty matrix result")
+	}
+}
+
+// TestConcurrentDuplicatesCollapse boots the real server, fires
+// concurrent identical sweep requests over HTTP and asserts the
+// singleflight layer collapsed the duplicates (via /v1/metrics).
+func TestConcurrentDuplicatesCollapse(t *testing.T) {
+	base := bootServer(t, "-parallel", "2")
+	const n = 8
+	// A spice-engine sweep: slow enough that all eight clients are in
+	// flight together, so the duplicates genuinely race.
+	req := `{"engine":"spice","opens":[1,4],"rdefs":[1e4,1e6],"us":[0,3.3]}`
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/inventory", "application/json", strings.NewReader(req))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var env struct {
+				Result json.RawMessage `json:"result"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = env.Result
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Requests              map[string]uint64 `json:"requests"`
+		SingleflightCollapsed uint64            `json:"singleflight_collapsed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["inventory"] != n {
+		t.Fatalf("request counter = %d, want %d", m.Requests["inventory"], n)
+	}
+	if m.SingleflightCollapsed == 0 {
+		t.Fatal("no requests collapsed — singleflight did not engage")
+	}
+}

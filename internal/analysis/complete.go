@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/memtest/partialfaults/internal/defect"
@@ -29,8 +30,15 @@ type CompletionConfig struct {
 	// MaxOps bounds the completing-prefix length (default 3).
 	MaxOps int
 
+	// Model fingerprints the Factory for memo keying; see
+	// SweepConfig.Model.
+	Model Fingerprint
+	// Ctx, when non-nil, cancels the search between probe simulations.
+	Ctx context.Context
+
 	// Memo, when non-nil, reuses outcomes already simulated (e.g. by the
-	// sweep that found the partial fault). Must be Factory-consistent.
+	// sweep that found the partial fault). Must be Factory-consistent —
+	// or keyed by Model when shared wider.
 	Memo *Memo
 	// Replay, when non-nil, shares simulation prefixes between the
 	// candidate sequences — the search's candidates differ only in their
@@ -118,11 +126,18 @@ func completedEverywhere(cfg CompletionConfig, cand fp.SOS, base fp.FP) (bool, e
 			var out Outcome
 			var err error
 			run := func() {
-				out, err = evalSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cand, cfg.Memo, cfg.Replay)
+				out, err = evalSOS(cfg.Model, cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cand, cfg.Memo, cfg.Replay)
 			}
 			if cfg.Pool != nil {
-				cfg.Pool.Do(run)
+				if perr := cfg.Pool.DoContext(cfg.Ctx, run); perr != nil {
+					return false, perr
+				}
 			} else {
+				if cfg.Ctx != nil {
+					if cerr := cfg.Ctx.Err(); cerr != nil {
+						return false, cerr
+					}
+				}
 				run()
 			}
 			if err != nil {

@@ -80,7 +80,7 @@ func TestMemoReplayConcurrentHammer(t *testing.T) {
 					// on different keys at any instant but all keys overall.
 					i := (k + w*len(jobs)/workers) % len(jobs)
 					j := jobs[i]
-					key := analysis.NewOutcomeKey(open, j.rdef, nets, j.u, j.sos)
+					key := analysis.NewOutcomeKey(behav.Fingerprint(behav.DefaultParams()), open, j.rdef, nets, j.u, j.sos)
 					out, hit := memo.Lookup(key)
 					if !hit {
 						var err error

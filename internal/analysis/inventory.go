@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,6 +59,20 @@ type InventoryConfig struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per pipeline step.
 	Progress func(string)
+
+	// Model fingerprints the Factory for memo keying; required when Memo
+	// is shared across factories or persisted.
+	Model Fingerprint
+	// Ctx, when non-nil, cancels the pipeline: in-flight units abort at
+	// their next simulation and the context error is returned.
+	Ctx context.Context
+	// Memo, when non-nil, replaces the pipeline-private outcome memo —
+	// the service shares one (fingerprint-keyed, optionally persistent)
+	// memo across requests.
+	Memo *Memo
+	// Pool, when non-nil, replaces the pipeline-private worker pool so
+	// concurrent pipelines share one concurrency bound.
+	Pool *Pool
 }
 
 // StaticSOSes returns the eight single-cell SOSes with #O ≤ 1 — the
@@ -123,8 +138,14 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 		}
 	}
 
-	pool := NewPool(cfg.Parallelism)
-	memo := NewMemo()
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewPool(cfg.Parallelism)
+	}
+	memo := cfg.Memo
+	if memo == nil {
+		memo = NewMemo()
+	}
 	unitRows := make([][]Row, len(units))
 	unitErrs := make([]error, len(units))
 	var wg sync.WaitGroup
@@ -139,6 +160,7 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 				plane, err := SweepPlane(SweepConfig{
 					Factory: cfg.Factory, Open: open, Float: group, SOS: sos,
 					RDefs: cfg.RDefs, Us: cfg.Us,
+					Model: cfg.Model, Ctx: cfg.Ctx,
 					Memo: memo, Replay: replay, Pool: pool,
 				})
 				if err != nil {
@@ -156,6 +178,7 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 						Factory: cfg.Factory, Open: open, Float: group,
 						Base:  finding.Example.Base(),
 						RDefs: probes, Us: cfg.Us, MaxOps: cfg.MaxCompletingOps,
+						Model: cfg.Model, Ctx: cfg.Ctx,
 						Memo: memo, Replay: replay, Pool: pool,
 					})
 					if err != nil {

@@ -10,12 +10,18 @@ import (
 )
 
 // OutcomeKey identifies one RunSOS invocation up to simulation-relevant
-// inputs. Two runs with equal keys through the same (deterministic)
-// Factory produce identical Outcomes, so the key is safe to memoize on.
+// inputs: the model fingerprint of the Factory that runs it plus the
+// defect, grid point and sensitizing sequence. Two runs with equal keys
+// produce identical Outcomes, so the key is safe to memoize on — the
+// Model field is what makes that hold across factories: the electrical
+// and analytical models (and the same model under different
+// technologies) produce different outcomes for otherwise identical
+// inputs, and their keys differ in Model.
 // The SOS is canonicalized to its simulated content — Init plus the
 // (kind, target, data) of every operation — deliberately ignoring the
 // Completing presentation flag, which RunSOS never reads.
 type OutcomeKey struct {
+	Model  Fingerprint
 	OpenID int
 	Site   string
 	RDef   float64
@@ -24,9 +30,14 @@ type OutcomeKey struct {
 	SOS    string
 }
 
-// NewOutcomeKey builds the memo key for one SOS application.
-func NewOutcomeKey(open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS) OutcomeKey {
+// NewOutcomeKey builds the memo key for one SOS application under the
+// given model. An empty model is allowed for single-factory pipelines
+// (all keys then share it), but any cache that outlives one factory —
+// the shared service memo, the persistent outcome store — must be fed
+// keys with real fingerprints.
+func NewOutcomeKey(model Fingerprint, open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS) OutcomeKey {
 	return OutcomeKey{
+		Model:  model,
 		OpenID: open.ID,
 		Site:   siteKey(open),
 		RDef:   rdef,
@@ -80,19 +91,42 @@ func canonicalSOS(sos fp.SOS) string {
 }
 
 // Memo is a concurrency-safe outcome cache shared between the sweep,
-// completion-search and inventory phases. It must only be shared between
-// calls that use the same Factory: the key does not (and cannot) identify
-// the factory closure, and outcomes of the electrical and analytical
-// models differ.
+// completion-search and inventory phases — and, in the service, across
+// requests. Sharing across factories is safe when every caller keys with
+// its factory's Fingerprint (see NewOutcomeKey): keys of different
+// models never collide. A memo fed empty-Model keys must still only be
+// shared between calls using the same Factory.
 type Memo struct {
 	mu           sync.Mutex
 	m            map[OutcomeKey]Outcome
 	hits, misses uint64
+
+	// journal, when non-nil, receives every newly stored entry — the
+	// write-through hook of the persistent outcome log.
+	journal func(OutcomeKey, Outcome)
 }
 
 // NewMemo returns an empty outcome cache.
 func NewMemo() *Memo {
 	return &Memo{m: map[OutcomeKey]Outcome{}}
+}
+
+// Journal installs a write-through hook invoked (under the memo lock,
+// in store order) for every entry Store newly records. Seed entries
+// loaded with Preload do not re-journal.
+func (mm *Memo) Journal(fn func(OutcomeKey, Outcome)) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.journal = fn
+}
+
+// Preload inserts an entry without notifying the journal and without
+// touching the hit/miss counters — used to warm the memo from a
+// persistent log.
+func (mm *Memo) Preload(k OutcomeKey, out Outcome) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.m[k] = out
 }
 
 // Lookup returns the cached outcome for the key, if present.
@@ -110,18 +144,53 @@ func (mm *Memo) Lookup(k OutcomeKey) (Outcome, bool) {
 
 // Store records an outcome. Later stores of the same key are idempotent
 // by construction (deterministic simulation), so no precedence rule is
-// needed.
+// needed; the journal only fires for keys not already present.
 func (mm *Memo) Store(k OutcomeKey, out Outcome) {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
+	_, existed := mm.m[k]
 	mm.m[k] = out
+	if mm.journal != nil && !existed {
+		mm.journal(k, out)
+	}
 }
 
-// Stats reports lookup hits and misses.
+// Stats reports cumulative lookup hits and misses since construction.
+// For per-phase reporting use Snapshot and MemoStats.Delta: reading the
+// cumulative counters at each phase boundary double-counts every phase
+// before it.
 func (mm *Memo) Stats() (hits, misses uint64) {
+	s := mm.Snapshot()
+	return s.Hits, s.Misses
+}
+
+// MemoStats is a point-in-time reading of the memo's lookup counters.
+type MemoStats struct {
+	Hits, Misses uint64
+}
+
+// Total returns the number of lookups covered by the reading.
+func (s MemoStats) Total() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits/Total, or 0 for an empty reading.
+func (s MemoStats) HitRate() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Delta returns the counter movement since an earlier snapshot — the
+// per-phase accessor: snapshot at the phase boundary, subtract.
+func (s MemoStats) Delta(since MemoStats) MemoStats {
+	return MemoStats{Hits: s.Hits - since.Hits, Misses: s.Misses - since.Misses}
+}
+
+// Snapshot atomically reads the cumulative counters.
+func (mm *Memo) Snapshot() MemoStats {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
-	return mm.hits, mm.misses
+	return MemoStats{Hits: mm.hits, Misses: mm.misses}
 }
 
 // Len returns the number of cached outcomes.

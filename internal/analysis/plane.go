@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -54,8 +55,17 @@ type SweepConfig struct {
 	// Ignored when Pool is set.
 	Parallelism int
 
+	// Model fingerprints the Factory for memo keying. Required whenever
+	// Memo outlives this sweep's Factory (shared or persistent caches);
+	// may stay empty for a sweep-local or single-factory memo.
+	Model Fingerprint
+	// Ctx, when non-nil, cancels the sweep: points not yet started are
+	// abandoned and the context error is returned.
+	Ctx context.Context
+
 	// Memo, when non-nil, caches (and reuses) point outcomes across
-	// sweeps sharing the same Factory.
+	// sweeps sharing the same Factory — or, when Model is set, across
+	// factories without collision.
 	Memo *Memo
 	// Replay, when non-nil, shares simulation prefixes between points;
 	// it must have been built for this sweep's Factory, Open and
@@ -99,9 +109,9 @@ func SweepPlane(cfg SweepConfig) (*Plane, error) {
 			wg.Add(1)
 			go func(i, j int) {
 				defer wg.Done()
-				pool.Do(func() {
+				err := pool.DoContext(cfg.Ctx, func() {
 					rdef, u := cfg.RDefs[i], cfg.Us[j]
-					out, err := evalSOS(cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS, cfg.Memo, cfg.Replay)
+					out, err := evalSOS(cfg.Model, cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS, cfg.Memo, cfg.Replay)
 					if err != nil {
 						errs[i][j] = fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err)
 						return
@@ -114,6 +124,9 @@ func SweepPlane(cfg SweepConfig) (*Plane, error) {
 					}
 					p.Points[i][j] = pt
 				})
+				if err != nil {
+					errs[i][j] = err
+				}
 			}(i, j)
 		}
 	}

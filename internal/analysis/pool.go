@@ -1,6 +1,9 @@
 package analysis
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+)
 
 // Pool is a counting semaphore bounding concurrent simulations across
 // the whole analysis pipeline. BuildInventory shares one pool between
@@ -26,4 +29,27 @@ func (p *Pool) Do(f func()) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	f()
+}
+
+// DoContext runs f while holding a pool slot, giving up with ctx.Err()
+// if the context is cancelled before a slot frees up (or by the time
+// one does). A nil context degrades to Do. Once f starts it runs to
+// completion — leaf simulations are short; cancellation cuts the queue,
+// not a simulation mid-flight.
+func (p *Pool) DoContext(ctx context.Context, f func()) error {
+	if ctx == nil {
+		p.Do(f)
+		return nil
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f()
+	return nil
 }

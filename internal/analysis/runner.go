@@ -271,11 +271,12 @@ func runSOSOn(mem Memory, floatNets []string, u float64, sos fp.SOS) (Outcome, e
 
 // evalSOS is the cache-aware entry point used by the sweep and
 // completion phases: memo lookup first, then the replay cache, then a
-// plain fresh-build run; the result is stored back into the memo.
-func evalSOS(factory Factory, open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS, memo *Memo, replay *ReplayCache) (Outcome, error) {
+// plain fresh-build run; the result is stored back into the memo. The
+// model fingerprint scopes the memo key to the factory's identity.
+func evalSOS(model Fingerprint, factory Factory, open defect.Open, rdef float64, nets []string, u float64, sos fp.SOS, memo *Memo, replay *ReplayCache) (Outcome, error) {
 	var key OutcomeKey
 	if memo != nil {
-		key = NewOutcomeKey(open, rdef, nets, u, sos)
+		key = NewOutcomeKey(model, open, rdef, nets, u, sos)
 		if out, ok := memo.Lookup(key); ok {
 			return out, nil
 		}

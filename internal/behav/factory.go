@@ -1,6 +1,8 @@
 package behav
 
 import (
+	"fmt"
+
 	"github.com/memtest/partialfaults/internal/analysis"
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/dram"
@@ -68,4 +70,13 @@ func NewFactory(p Params) analysis.Factory {
 		}
 		return &memory{m: m}, nil
 	}
+}
+
+// Fingerprint identifies the analytical model for memo and store
+// keying: the "behav" kind plus every tuning parameter and the full
+// embedded technology, so any calibration change invalidates cached
+// outcomes. %#v renders Params fields in declaration order, making the
+// encoding deterministic.
+func Fingerprint(p Params) analysis.Fingerprint {
+	return analysis.NewFingerprint("behav", fmt.Sprintf("%#v", p))
 }

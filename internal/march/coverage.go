@@ -91,6 +91,10 @@ type CoverageResult struct {
 	Detected  bool
 	Caught    int
 	Scenarios int
+	// Engine names the backend that evaluated the row — normally the
+	// requested one, but the scalar oracle when the requested backend
+	// reported the entry unsupported and the harness fell back.
+	Engine string
 }
 
 // CoverageMatrix evaluates every test against every catalog entry on a

@@ -1,6 +1,16 @@
 package march
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEngineUnsupported marks a (backend, fault entry) combination the
+// backend deliberately does not model. Engines wrap it so harnesses can
+// distinguish "this backend cannot evaluate this entry" (fall back to
+// the scalar oracle) from a real failure (abort). The bit-plane
+// engine's line-mediated CFst entries are the canonical case.
+var ErrEngineUnsupported = errors.New("march: engine does not support this fault entry")
 
 // Detection is one (test, fault family, geometry) detection result
 // under guarantee semantics: Detected means every (victim,
@@ -52,19 +62,45 @@ func (ScalarEngine) DetectsTwoCell(t Test, rows, cols int, e TwoCellCatalogEntry
 	return Detection{Detected: det, Caught: caught, Scenarios: total}, err
 }
 
+// DetectsTwoCellOffsets evaluates a two-cell entry restricted to the
+// given aggressor offsets with the scalar simulator; it implements
+// TwoCellOffsetEngine.
+func (ScalarEngine) DetectsTwoCellOffsets(t Test, rows, cols int, e TwoCellCatalogEntry, offsets []int) (Detection, error) {
+	det, caught, total, err := DetectsTwoCellEntryOffsets(t, rows, cols, e, offsets)
+	return Detection{Detected: det, Caught: caught, Scenarios: total}, err
+}
+
+// TwoCellOffsetEngine is the optional engine extension for
+// neighborhood-restricted two-cell evaluation (aggressor = victim + δ
+// for δ in a caller-chosen set — ±1 and ±cols cover physical
+// neighbors). Both the scalar and the bit-plane engines implement it.
+type TwoCellOffsetEngine interface {
+	Engine
+	DetectsTwoCellOffsets(t Test, rows, cols int, e TwoCellCatalogEntry, offsets []int) (Detection, error)
+}
+
 // CoverageMatrixWith evaluates every test against every catalog entry
-// on a rows×cols array using the given backend.
+// on a rows×cols array using the given backend. An entry the backend
+// reports as ErrEngineUnsupported is re-evaluated with the scalar
+// oracle instead of aborting the whole matrix; the row's Engine field
+// records which backend produced it.
 func CoverageMatrixWith(eng Engine, tests []Test, catalog []CatalogEntry, rows, cols int) ([]CoverageResult, error) {
 	var out []CoverageResult
 	for _, t := range tests {
 		for _, e := range catalog {
+			engine := eng.Name()
 			v, err := eng.Detects(t, rows, cols, e)
+			if errors.Is(err, ErrEngineUnsupported) {
+				engine = ScalarEngine{}.Name()
+				v, err = ScalarEngine{}.Detects(t, rows, cols, e)
+			}
 			if err != nil {
-				return nil, fmt.Errorf("%s: %s × %s: %w", eng.Name(), t.Name, e.Name, err)
+				return nil, fmt.Errorf("%s: %s × %s: %w", engine, t.Name, e.Name, err)
 			}
 			out = append(out, CoverageResult{
 				Test: t.Name, Fault: e.Name, Partial: e.Partial,
 				Detected: v.Detected, Caught: v.Caught, Scenarios: v.Scenarios,
+				Engine: engine,
 			})
 		}
 	}
@@ -73,19 +109,52 @@ func CoverageMatrixWith(eng Engine, tests []Test, catalog []CatalogEntry, rows, 
 
 // TwoCellCertificateWith builds the two-cell certificate for one test
 // and geometry using the given backend for the exhaustive simulation
-// half (the static pre-pass half is backend-independent).
+// half (the static pre-pass half is backend-independent). Entries the
+// backend does not support (ErrEngineUnsupported — e.g. line-mediated
+// CFst under the bit-plane engine) fall back to the scalar oracle
+// per-entry, so one such entry no longer aborts the whole certificate;
+// each row's Engine field records the backend that evaluated it.
 func TwoCellCertificateWith(eng Engine, t Test, catalog []TwoCellCatalogEntry, rows, cols int) (TwoCellCertificate, error) {
-	cert := TwoCellCertificate{Test: t.Name, Rows: rows, Cols: cols}
+	return twoCellCertificate(eng, t, catalog, rows, cols, nil)
+}
+
+// TwoCellCertificateOffsetsWith is TwoCellCertificateWith restricted to
+// the given aggressor offsets (aggressor = victim + δ). The engine must
+// implement TwoCellOffsetEngine — both ScalarEngine and the bit-plane
+// engine do — unless every entry falls back. A nil/empty offsets slice
+// means the full pair space.
+func TwoCellCertificateOffsetsWith(eng Engine, t Test, catalog []TwoCellCatalogEntry, rows, cols int, offsets []int) (TwoCellCertificate, error) {
+	return twoCellCertificate(eng, t, catalog, rows, cols, offsets)
+}
+
+func twoCellCertificate(eng Engine, t Test, catalog []TwoCellCatalogEntry, rows, cols int, offsets []int) (TwoCellCertificate, error) {
+	cert := TwoCellCertificate{Test: t.Name, Rows: rows, Cols: cols, Offsets: offsets}
+	detect := func(eng Engine, e TwoCellCatalogEntry) (Detection, error) {
+		if len(offsets) == 0 {
+			return eng.DetectsTwoCell(t, rows, cols, e)
+		}
+		oe, ok := eng.(TwoCellOffsetEngine)
+		if !ok {
+			return Detection{}, fmt.Errorf("march: engine %s cannot restrict aggressor offsets: %w", eng.Name(), ErrEngineUnsupported)
+		}
+		return oe.DetectsTwoCellOffsets(t, rows, cols, e, offsets)
+	}
 	for _, e := range catalog {
 		cannot, why := CannotCompleteTwoCell(t, e)
-		v, err := eng.DetectsTwoCell(t, rows, cols, e)
+		engine := eng.Name()
+		v, err := detect(eng, e)
+		if errors.Is(err, ErrEngineUnsupported) {
+			engine = ScalarEngine{}.Name()
+			v, err = detect(ScalarEngine{}, e)
+		}
 		if err != nil {
-			return cert, fmt.Errorf("%s: %s × %s: %w", eng.Name(), t.Name, e.Name, err)
+			return cert, fmt.Errorf("%s: %s × %s: %w", engine, t.Name, e.Name, err)
 		}
 		cert.Entries = append(cert.Entries, TwoCellCertRow{
 			Entry: e.Name, Class: e.FP.Classify(), Partial: e.Partial,
 			ProvedMiss: cannot, Reason: why,
 			Detected: v.Detected, Caught: v.Caught, Scenarios: v.Scenarios,
+			Engine: engine,
 		})
 	}
 	return cert, nil

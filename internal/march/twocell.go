@@ -23,7 +23,54 @@ func DetectsTwoCellEntry(t Test, rows, cols int, e TwoCellCatalogEntry) (bool, i
 	return detectsTwoCell(t, rows, cols, e.Make)
 }
 
+// DetectsTwoCellEntryOffsets is DetectsTwoCellEntry restricted to the
+// aggressor offsets: only pairs with aggressor = victim + δ for some
+// listed δ are simulated, so a neighbor set like ±1, ±cols turns the
+// O(N²) pair walk into O(N·|δ|). Scenario counting matches the
+// bit-plane engine's: Σ_δ (N − |δ|) in-array pairs per order
+// assignment.
+func DetectsTwoCellEntryOffsets(t Test, rows, cols int, e TwoCellCatalogEntry, offsets []int) (bool, int, int, error) {
+	seen := map[int]bool{}
+	for _, d := range offsets {
+		if d == 0 {
+			return false, 0, 0, fmt.Errorf("march: aggressor offset must be non-zero")
+		}
+		if seen[d] {
+			return false, 0, 0, fmt.Errorf("march: duplicate aggressor offset %d", d)
+		}
+		seen[d] = true
+	}
+	if len(offsets) == 0 {
+		return false, 0, 0, fmt.Errorf("march: empty aggressor offset set")
+	}
+	return detectsTwoCellPairs(t, rows, cols, e.Make, func(n int) [][2]int {
+		var pairs [][2]int
+		for _, d := range offsets {
+			for victim := 0; victim < n; victim++ {
+				if a := victim + d; a >= 0 && a < n {
+					pairs = append(pairs, [2]int{victim, a})
+				}
+			}
+		}
+		return pairs
+	})
+}
+
 func detectsTwoCell(t Test, rows, cols int, build func(victim, aggressor int) memsim.TwoCellFault) (bool, int, int, error) {
+	return detectsTwoCellPairs(t, rows, cols, build, func(n int) [][2]int {
+		pairs := make([][2]int, 0, n*(n-1))
+		for victim := 0; victim < n; victim++ {
+			for aggressor := 0; aggressor < n; aggressor++ {
+				if victim != aggressor {
+					pairs = append(pairs, [2]int{victim, aggressor})
+				}
+			}
+		}
+		return pairs
+	})
+}
+
+func detectsTwoCellPairs(t Test, rows, cols int, build func(victim, aggressor int) memsim.TwoCellFault, enumerate func(n int) [][2]int) (bool, int, int, error) {
 	if err := t.Validate(); err != nil {
 		return false, 0, 0, err
 	}
@@ -32,25 +79,20 @@ func detectsTwoCell(t Test, rows, cols int, build func(victim, aggressor int) me
 	}
 	assignments := t.OrderAssignments()
 	caught, total := 0, 0
-	n := rows * cols
-	for victim := 0; victim < n; victim++ {
-		for aggressor := 0; aggressor < n; aggressor++ {
-			if victim == aggressor {
-				continue
+	for _, pair := range enumerate(rows * cols) {
+		victim, aggressor := pair[0], pair[1]
+		for _, orders := range assignments {
+			arr := memsim.NewArray(rows, cols)
+			if err := arr.InjectTwoCell(build(victim, aggressor)); err != nil {
+				return false, 0, 0, err
 			}
-			for _, orders := range assignments {
-				arr := memsim.NewArray(rows, cols)
-				if err := arr.InjectTwoCell(build(victim, aggressor)); err != nil {
-					return false, 0, 0, err
-				}
-				total++
-				mm, err := t.Run(arr, orders)
-				if err != nil {
-					return false, 0, 0, err
-				}
-				if len(mm) > 0 {
-					caught++
-				}
+			total++
+			mm, err := t.Run(arr, orders)
+			if err != nil {
+				return false, 0, 0, err
+			}
+			if len(mm) > 0 {
+				caught++
 			}
 		}
 	}
@@ -83,6 +125,10 @@ type TwoCellCertRow struct {
 	// (pair × order-assignment) scenarios.
 	Detected          bool
 	Caught, Scenarios int
+	// Engine names the backend that evaluated the row; it differs from
+	// the certificate's requested backend when the entry fell back to
+	// the scalar oracle (ErrEngineUnsupported).
+	Engine string
 }
 
 // TwoCellCertificate is a test's two-cell coverage certificate on one
@@ -92,7 +138,10 @@ type TwoCellCertRow struct {
 type TwoCellCertificate struct {
 	Test       string
 	Rows, Cols int
-	Entries    []TwoCellCertRow
+	// Offsets, when non-empty, restricts the pair space to aggressor =
+	// victim + δ for the listed δ; empty means all ordered pairs.
+	Offsets []int
+	Entries []TwoCellCertRow
 }
 
 // Violations returns the rows contradicting soundness: statically

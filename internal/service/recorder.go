@@ -1,0 +1,31 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// recorder is a minimal in-process ResponseWriter used by the batch
+// handler to re-dispatch sub-requests through the ordinary endpoint
+// handlers without a network round trip.
+type recorder struct {
+	status int
+	header http.Header
+	buf    []byte
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: http.Header{}}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.buf = append(r.buf, p...)
+	return len(p), nil
+}
+
+func bytesReader(p []byte) io.Reader { return bytes.NewReader(p) }

@@ -1,0 +1,856 @@
+// Package service exposes the partial-fault analysis pipeline as a
+// long-running JSON HTTP API: Table 1 inventories, march coverage
+// matrices, two-cell certificates, the static detection matrix and the
+// net-merge prover, with request batching, singleflight de-duplication
+// of concurrent identical requests, and a disk-persistent
+// content-addressed result store shared across restarts.
+//
+// Every cacheable result is addressed by a store.Key built from the
+// model fingerprint (engine kind + netlist + technology), the
+// fault/defect catalog fingerprint, the request kind and the canonical
+// request spec — so changing the netlist, the technology or a catalog
+// silently invalidates everything it affects, and nothing else.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+	"github.com/memtest/partialfaults/internal/analysis/store"
+	"github.com/memtest/partialfaults/internal/behav"
+	"github.com/memtest/partialfaults/internal/bitsim"
+	"github.com/memtest/partialfaults/internal/defect"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/march"
+	"github.com/memtest/partialfaults/internal/netlint"
+	"github.com/memtest/partialfaults/internal/numeric"
+	"github.com/memtest/partialfaults/internal/report"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// StoreDir, when non-empty, persists results (content-addressed
+	// blobs) and point outcomes (append-only log) under this directory.
+	// Empty means in-memory caching only.
+	StoreDir string
+	// Parallelism bounds concurrent simulations across ALL requests;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// Params tunes the analytical model; nil means behav.DefaultParams.
+	Params *behav.Params
+	// Tech selects the electrical technology; nil means dram.Default.
+	Tech *dram.Technology
+}
+
+// Server is the analysis service. It is an http.Handler; all state is
+// safe for concurrent use.
+type Server struct {
+	mux  *http.ServeMux
+	pool *analysis.Pool
+	memo *analysis.Memo
+
+	params behav.Params
+	tech   dram.Technology
+
+	behavModel analysis.Fingerprint
+	spiceModel analysis.Fingerprint
+	catalogFP  string
+
+	store  *store.Store // nil when StoreDir is empty
+	outLog *store.OutcomeLog
+
+	flights *flightGroup
+
+	mu       sync.Mutex
+	requests map[string]uint64
+
+	bootMemo analysis.MemoStats
+}
+
+// New builds a Server, opening (or creating) the persistent store when
+// configured.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		pool:     analysis.NewPool(cfg.Parallelism),
+		memo:     analysis.NewMemo(),
+		params:   behav.DefaultParams(),
+		tech:     dram.Default(),
+		flights:  newFlightGroup(),
+		requests: map[string]uint64{},
+	}
+	if cfg.Params != nil {
+		s.params = *cfg.Params
+	}
+	if cfg.Tech != nil {
+		s.tech = *cfg.Tech
+		s.params.Tech = *cfg.Tech
+	}
+	s.behavModel = behav.Fingerprint(s.params)
+	spiceFP, err := analysis.SpiceFingerprint(s.tech)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.spiceModel = spiceFP
+	s.catalogFP = catalogFingerprint()
+
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.store = st
+		log, err := store.OpenOutcomeLog(filepath.Join(cfg.StoreDir, "outcomes.jsonl"), s.memo)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.outLog = log
+	}
+	s.bootMemo = s.memo.Snapshot()
+
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/inventory", s.handleInventory)
+	s.mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
+	s.mux.HandleFunc("POST /v1/twocell", s.handleTwoCell)
+	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close detaches the persistent outcome log. In-flight requests keep
+// their memo; new outcomes just stop persisting.
+func (s *Server) Close() error {
+	if s.outLog != nil {
+		return s.outLog.Close()
+	}
+	return nil
+}
+
+// catalogFingerprint digests every fault/defect catalog the service
+// ranges over: the simulated opens, the short/bridge catalog, the march
+// test library, and the single- and two-cell fault catalogs. Any
+// catalog change invalidates every stored result that could depend on
+// it.
+func catalogFingerprint() string {
+	var parts []string
+	for _, o := range defect.SimulatedOpens() {
+		parts = append(parts, fmt.Sprintf("open:%d:%s:%v", o.ID, o.Site, o.Floats))
+	}
+	for _, sb := range defect.ShortsAndBridges() {
+		parts = append(parts, "sb:"+sb.Site)
+	}
+	for _, t := range march.All() {
+		parts = append(parts, "test:"+t.Name+":"+t.String())
+	}
+	for _, e := range march.ClassicalFaultCatalog() {
+		parts = append(parts, "single:"+e.Name)
+	}
+	for _, e := range march.PaperFaultCatalog() {
+		parts = append(parts, "paper:"+e.Name)
+	}
+	for _, e := range march.TwoCellCatalog() {
+		parts = append(parts, "two:"+e.Name)
+	}
+	return string(analysis.NewFingerprint("catalog", parts...))
+}
+
+// --- request plumbing ---
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) countRequest(kind string) {
+	s.mu.Lock()
+	s.requests[kind]++
+	s.mu.Unlock()
+}
+
+// cached serves one cacheable request: store lookup, then singleflight
+// on the key digest, then compute + store write-through. The returned
+// flags report whether the payload came from the persistent store and
+// whether this caller joined another's in-flight computation.
+func (s *Server) cached(key store.Key, compute func() (any, error)) (payload []byte, fromStore, collapsed bool, err error) {
+	if s.store != nil {
+		if buf, ok, err := s.store.Get(key); err != nil {
+			return nil, false, false, err
+		} else if ok {
+			return buf, true, false, nil
+		}
+	}
+	payload, collapsed, err = s.flights.Do(key.Digest(), func() ([]byte, error) {
+		// Re-check under the flight: a concurrent leader may have
+		// persisted the result between our miss and our takeoff.
+		if s.store != nil {
+			if buf, ok, err := s.store.Get(key); err != nil {
+				return nil, err
+			} else if ok {
+				return buf, nil
+			}
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		if s.store != nil {
+			if err := s.store.Put(key, buf); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	})
+	return payload, false, collapsed, err
+}
+
+// envelopeJSON wraps every cacheable response: the result payload plus
+// serving metadata (never part of the stored blob).
+func writeResult(w http.ResponseWriter, payload []byte, fromStore, collapsed bool) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"cached":%v,"collapsed":%v,"result":`, fromStore, collapsed)
+	w.Write(payload)
+	io.WriteString(w, "}\n")
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// canonicalSpec renders a normalized request as the store-key spec.
+// json.Marshal of a struct is deterministic (fields in declaration
+// order), so equal requests produce equal specs.
+func canonicalSpec(v any) (string, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// --- health and metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, `{"ok":true}`+"\n")
+}
+
+// MetricsResponse is the /v1/metrics payload.
+type MetricsResponse struct {
+	Requests map[string]uint64 `json:"requests"`
+	// SingleflightCollapsed counts requests that joined another
+	// caller's in-flight computation instead of starting their own.
+	SingleflightCollapsed uint64 `json:"singleflight_collapsed"`
+	// Memo is the outcome-cache counter movement since boot — a
+	// Snapshot/Delta reading, not the raw cumulative counters (which
+	// include entries replayed from the persistent log and would
+	// double-count across phases).
+	Memo struct {
+		Hits    uint64  `json:"hits"`
+		Misses  uint64  `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Entries int     `json:"entries"`
+	} `json:"memo"`
+	Store *struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Puts   uint64 `json:"puts"`
+		Len    int    `json:"len"`
+	} `json:"store,omitempty"`
+	Models struct {
+		Behav string `json:"behav"`
+		Spice string `json:"spice"`
+	} `json:"models"`
+	Catalog string `json:"catalog"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var resp MetricsResponse
+	resp.Requests = map[string]uint64{}
+	s.mu.Lock()
+	for k, v := range s.requests {
+		resp.Requests[k] = v
+	}
+	s.mu.Unlock()
+	resp.SingleflightCollapsed = s.flights.Collapsed()
+	d := s.memo.Snapshot().Delta(s.bootMemo)
+	resp.Memo.Hits, resp.Memo.Misses, resp.Memo.HitRate = d.Hits, d.Misses, d.HitRate()
+	resp.Memo.Entries = s.memo.Len()
+	if s.store != nil {
+		st := s.store.Stats()
+		n, _ := s.store.Len()
+		resp.Store = &struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+			Puts   uint64 `json:"puts"`
+			Len    int    `json:"len"`
+		}{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, Len: n}
+	}
+	resp.Models.Behav = string(s.behavModel)
+	resp.Models.Spice = string(s.spiceModel)
+	resp.Catalog = s.catalogFP
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// --- inventory ---
+
+// InventoryRequest asks for the Table 1 pipeline over a grid.
+type InventoryRequest struct {
+	// Engine is "behav" (default) or "spice".
+	Engine string `json:"engine,omitempty"`
+	// Opens restricts the analyzed opens by ID; empty means all
+	// simulated opens.
+	Opens []int `json:"opens,omitempty"`
+	// RDefs/Us are explicit grid axes; when empty the Min/Max/Steps
+	// triples apply (log-spaced resistances, linear voltages).
+	RDefs     []float64 `json:"rdefs,omitempty"`
+	Us        []float64 `json:"us,omitempty"`
+	RDefMin   float64   `json:"rdef_min,omitempty"`
+	RDefMax   float64   `json:"rdef_max,omitempty"`
+	RDefSteps int       `json:"rdef_steps,omitempty"`
+	UMin      float64   `json:"u_min,omitempty"`
+	UMax      float64   `json:"u_max,omitempty"`
+	USteps    int       `json:"u_steps,omitempty"`
+}
+
+func (q *InventoryRequest) normalize() error {
+	if q.Engine == "" {
+		q.Engine = "behav"
+	}
+	if q.Engine != "behav" && q.Engine != "spice" {
+		return badRequest("unknown engine %q (want behav or spice)", q.Engine)
+	}
+	if len(q.RDefs) == 0 {
+		if q.RDefMin == 0 {
+			q.RDefMin = 1e3
+		}
+		if q.RDefMax == 0 {
+			q.RDefMax = 1e7
+		}
+		if q.RDefSteps == 0 {
+			q.RDefSteps = 13
+		}
+		q.RDefs = numeric.Logspace(q.RDefMin, q.RDefMax, q.RDefSteps)
+	}
+	if len(q.Us) == 0 {
+		if q.UMax == 0 {
+			q.UMax = 3.3
+		}
+		if q.USteps == 0 {
+			q.USteps = 12
+		}
+		q.Us = numeric.Linspace(q.UMin, q.UMax, q.USteps)
+	}
+	q.RDefMin, q.RDefMax, q.RDefSteps = 0, 0, 0
+	q.UMin, q.UMax, q.USteps = 0, 0, 0
+	sort.Ints(q.Opens)
+	return nil
+}
+
+func (s *Server) model(engine string) analysis.Fingerprint {
+	if engine == "spice" {
+		return s.spiceModel
+	}
+	return s.behavModel
+}
+
+func (s *Server) factory(engine string) analysis.Factory {
+	if engine == "spice" {
+		return analysis.NewSpiceFactory(s.tech)
+	}
+	return behav.NewFactory(s.params)
+}
+
+func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("inventory")
+	var q InventoryRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := q.normalize(); err != nil {
+		writeError(w, err)
+		return
+	}
+	var opens []defect.Open
+	if len(q.Opens) > 0 {
+		for _, id := range q.Opens {
+			o, ok := defect.ByID(id)
+			if !ok {
+				writeError(w, badRequest("unknown open %d", id))
+				return
+			}
+			opens = append(opens, o)
+		}
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key := store.Key{Model: string(s.model(q.Engine)), Catalog: s.catalogFP, Kind: "inventory", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		rows, err := analysis.BuildInventory(analysis.InventoryConfig{
+			Factory: s.factory(q.Engine),
+			Opens:   opens,
+			RDefs:   q.RDefs, Us: q.Us,
+			Model: s.model(q.Engine),
+			Ctx:   r.Context(),
+			Memo:  s.memo, Pool: s.pool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report.ToInventoryJSON(rows), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
+// --- march coverage ---
+
+// CoverageRequest asks for a coverage matrix.
+type CoverageRequest struct {
+	// Tests are march test names; empty means the whole library.
+	Tests []string `json:"tests,omitempty"`
+	// Catalog is "classical" (default) or "paper".
+	Catalog string `json:"catalog,omitempty"`
+	// Engine is "memsim" (default, scalar oracle) or "bitsim".
+	Engine string `json:"engine,omitempty"`
+	Rows   int    `json:"rows,omitempty"`
+	Cols   int    `json:"cols,omitempty"`
+}
+
+func marchEngine(name string) (march.Engine, error) {
+	switch name {
+	case "", "memsim":
+		return march.ScalarEngine{}, nil
+	case "bitsim":
+		return bitsim.New(), nil
+	}
+	return nil, badRequest("unknown march engine %q (want memsim or bitsim)", name)
+}
+
+func testsByName(names []string) ([]march.Test, error) {
+	if len(names) == 0 {
+		return march.All(), nil
+	}
+	byName := map[string]march.Test{}
+	for _, t := range march.All() {
+		byName[t.Name] = t
+	}
+	var out []march.Test
+	for _, n := range names {
+		t, ok := byName[n]
+		if !ok {
+			return nil, badRequest("unknown march test %q", n)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("coverage")
+	var q CoverageRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	if q.Engine == "" {
+		q.Engine = "memsim"
+	}
+	if q.Catalog == "" {
+		q.Catalog = "classical"
+	}
+	if q.Rows == 0 {
+		q.Rows = 4
+	}
+	if q.Cols == 0 {
+		q.Cols = 2
+	}
+	eng, err := marchEngine(q.Engine)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tests, err := testsByName(q.Tests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var catalog []march.CatalogEntry
+	switch q.Catalog {
+	case "classical":
+		catalog = march.ClassicalFaultCatalog()
+	case "paper":
+		catalog = march.PaperFaultCatalog()
+	default:
+		writeError(w, badRequest("unknown catalog %q (want classical or paper)", q.Catalog))
+		return
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// March-walk results depend on the discrete fault model only, not
+	// the electrical technology; key them under the engine name.
+	key := store.Key{Model: "march:" + q.Engine, Catalog: s.catalogFP, Kind: "coverage", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		var results []march.CoverageResult
+		var werr error
+		if err := s.pool.DoContext(r.Context(), func() {
+			results, werr = march.CoverageMatrixWith(eng, tests, catalog, q.Rows, q.Cols)
+		}); err != nil {
+			return nil, err
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		return report.ToCoverageJSON(results), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
+// --- two-cell certificate ---
+
+// TwoCellRequest asks for a two-cell coverage certificate.
+type TwoCellRequest struct {
+	Test   string `json:"test"`
+	Engine string `json:"engine,omitempty"`
+	Rows   int    `json:"rows,omitempty"`
+	Cols   int    `json:"cols,omitempty"`
+	// Offsets restricts the aggressor set (aggressor = victim + δ);
+	// empty means all ordered pairs.
+	Offsets []int `json:"offsets,omitempty"`
+}
+
+func (s *Server) handleTwoCell(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("twocell")
+	var q TwoCellRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	if q.Test == "" {
+		writeError(w, badRequest("missing march test name"))
+		return
+	}
+	if q.Engine == "" {
+		q.Engine = "memsim"
+	}
+	if q.Rows == 0 {
+		q.Rows = 4
+	}
+	if q.Cols == 0 {
+		q.Cols = 2
+	}
+	seen := map[int]bool{}
+	for _, d := range q.Offsets {
+		if d == 0 {
+			writeError(w, badRequest("offset 0 is not a neighbour"))
+			return
+		}
+		if seen[d] {
+			writeError(w, badRequest("duplicate offset %d", d))
+			return
+		}
+		seen[d] = true
+	}
+	eng, err := marchEngine(q.Engine)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tests, err := testsByName([]string{q.Test})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key := store.Key{Model: "march:" + q.Engine, Catalog: s.catalogFP, Kind: "twocell", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		var cert march.TwoCellCertificate
+		var werr error
+		if err := s.pool.DoContext(r.Context(), func() {
+			cert, werr = march.TwoCellCertificateOffsetsWith(eng, tests[0], march.TwoCellCatalog(), q.Rows, q.Cols, q.Offsets)
+		}); err != nil {
+			return nil, err
+		}
+		if werr != nil {
+			return nil, werr
+		}
+		return report.ToTwoCellCertificateJSON(cert), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
+// --- static detection matrix ---
+
+// MatrixRequest asks for the three-valued static detection matrix.
+type MatrixRequest struct {
+	Tests []string `json:"tests,omitempty"`
+}
+
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("matrix")
+	var q MatrixRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	tests, err := testsByName(q.Tests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// The prover is purely symbolic: no model, no geometry.
+	key := store.Key{Model: "prover", Catalog: s.catalogFP, Kind: "matrix", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		var m march.DetectionMatrix
+		if err := s.pool.DoContext(r.Context(), func() {
+			m = march.BuildDetectionMatrix(tests, march.PaperFaultCatalog(), march.TwoCellCatalog())
+		}); err != nil {
+			return nil, err
+		}
+		return report.ToDetectionMatrixJSON(m), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
+// --- merge / float prediction ---
+
+// PredictRequest asks the static net prover for a verdict: either the
+// floating-net prediction of an open, or the merge analysis of one or
+// more short/bridge defects.
+type PredictRequest struct {
+	// Open is an open ID (1-9) for a float prediction.
+	Open int `json:"open,omitempty"`
+	// Defects are short/bridge sites for a merge prediction, each
+	// optionally resistive.
+	Defects []PredictDefect `json:"defects,omitempty"`
+}
+
+// PredictDefect is one short/bridge site, optionally resistive.
+type PredictDefect struct {
+	Site string  `json:"site"`
+	Ohms float64 `json:"ohms,omitempty"`
+}
+
+// FloatPredictionJSON is the open-defect float prediction payload.
+type FloatPredictionJSON struct {
+	Open      int      `json:"open"`
+	Element   string   `json:"element"`
+	Primary   []string `json:"primary,omitempty"`
+	Secondary []string `json:"secondary,omitempty"`
+	Unknown   []string `json:"unknown,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("predict")
+	var q PredictRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	if (q.Open == 0) == (len(q.Defects) == 0) {
+		writeError(w, badRequest("want exactly one of open or defects"))
+		return
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Predictions depend on the netlist graph and phase model — the
+	// electrical model fingerprint covers both.
+	key := store.Key{Model: string(s.spiceModel), Catalog: s.catalogFP, Kind: "predict", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		col, err := dram.NewColumn(s.tech)
+		if err != nil {
+			return nil, err
+		}
+		az := netlint.New(col.Circuit(), dram.LintModel())
+		if q.Open != 0 {
+			open, ok := defect.ByID(q.Open)
+			if !ok {
+				return nil, badRequest("unknown open %d", q.Open)
+			}
+			elem := dram.SiteElementName(open.Site)
+			pred := az.PredictFloats([]string{elem})
+			return FloatPredictionJSON{
+				Open: open.ID, Element: elem,
+				Primary: pred.Primary, Secondary: pred.Secondary, Unknown: pred.Unknown,
+			}, nil
+		}
+		catalog := map[string]defect.ShortOrBridge{}
+		for _, sb := range defect.ShortsAndBridges() {
+			catalog[sb.Site] = sb
+		}
+		var ms netlint.MergeSpec
+		for _, d := range q.Defects {
+			if _, ok := catalog[d.Site]; !ok {
+				return nil, badRequest("unknown defect site %q", d.Site)
+			}
+			ms.Elems = append(ms.Elems, netlint.MergeElem{Name: dram.SiteElementName(d.Site), Ohms: d.Ohms})
+		}
+		pred, err := az.PredictMergeSet(ms)
+		if err != nil {
+			return nil, err
+		}
+		return report.ToMergePredictionJSON(pred), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
+// --- batch ---
+
+// BatchItem is one sub-request of a batch: an endpoint kind plus its
+// body.
+type BatchItem struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// BatchItemResult is one sub-response: the endpoint's full response
+// body (envelope included) or its error.
+type BatchItemResult struct {
+	Kind   string          `json:"kind"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// handleBatch runs sub-requests concurrently through the shared pool
+// and singleflight layer — identical items inside one batch collapse
+// exactly like identical concurrent requests do.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("batch")
+	var q struct {
+		Requests []BatchItem `json:"requests"`
+	}
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(q.Requests) == 0 {
+		writeError(w, badRequest("empty batch"))
+		return
+	}
+	handlers := map[string]http.HandlerFunc{
+		"inventory": s.handleInventory,
+		"coverage":  s.handleCoverage,
+		"twocell":   s.handleTwoCell,
+		"matrix":    s.handleMatrix,
+		"predict":   s.handlePredict,
+	}
+	results := make([]BatchItemResult, len(q.Requests))
+	var wg sync.WaitGroup
+	for i, item := range q.Requests {
+		h, ok := handlers[item.Kind]
+		if !ok {
+			results[i] = BatchItemResult{Kind: item.Kind, Status: http.StatusBadRequest,
+				Error: fmt.Sprintf("unknown batch kind %q", item.Kind)}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, item BatchItem, h http.HandlerFunc) {
+			defer wg.Done()
+			rec := newRecorder()
+			sub, err := http.NewRequestWithContext(r.Context(), http.MethodPost, "/v1/"+item.Kind, bytesReader(item.Body))
+			if err != nil {
+				results[i] = BatchItemResult{Kind: item.Kind, Status: http.StatusInternalServerError, Error: err.Error()}
+				return
+			}
+			h(rec, sub)
+			res := BatchItemResult{Kind: item.Kind, Status: rec.status}
+			if rec.status == http.StatusOK {
+				res.Body = json.RawMessage(rec.buf)
+			} else {
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(rec.buf, &e) == nil && e.Error != "" {
+					res.Error = e.Error
+				} else {
+					res.Error = string(rec.buf)
+				}
+			}
+			results[i] = res
+		}(i, item, h)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"responses": results})
+}

@@ -1,0 +1,365 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/dram"
+)
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+type envelope struct {
+	Cached    bool            `json:"cached"`
+	Collapsed bool            `json:"collapsed"`
+	Result    json.RawMessage `json:"result"`
+}
+
+func post(t *testing.T, s *Server, path, body string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func postEnvelope(t *testing.T, s *Server, path, body string) envelope {
+	t.Helper()
+	code, buf := post(t, s, path, body)
+	if code != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", path, code, buf)
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		t.Fatalf("%s: bad envelope: %v\n%s", path, err, buf)
+	}
+	return env
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte(`"ok":true`)) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+const smallInventory = `{"opens":[1,2],"rdefs":[1e4,1e6],"us":[0,1.5,3.3]}`
+
+// TestStoreEquivalence is the tentpole acceptance test: a result served
+// from the persistent store must be byte-identical to the freshly
+// computed one — across server restarts on the same directory.
+func TestStoreEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	fresh := postEnvelope(t, s1, "/v1/inventory", smallInventory)
+	if fresh.Cached {
+		t.Fatal("first request claims to be cached")
+	}
+	again := postEnvelope(t, s1, "/v1/inventory", smallInventory)
+	if !again.Cached {
+		t.Fatal("second request missed the store")
+	}
+	if !bytes.Equal(fresh.Result, again.Result) {
+		t.Fatal("stored result differs from fresh result")
+	}
+	s1.Close()
+
+	// A fresh process over the same store directory serves the same
+	// bytes without recomputing.
+	s2 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	reborn := postEnvelope(t, s2, "/v1/inventory", smallInventory)
+	if !reborn.Cached {
+		t.Fatal("restarted server missed the store")
+	}
+	if !bytes.Equal(fresh.Result, reborn.Result) {
+		t.Fatal("result changed across restart")
+	}
+
+	// And a store-less server computing from scratch agrees bit for bit.
+	s3 := newTestServer(t, Config{Parallelism: 2})
+	scratch := postEnvelope(t, s3, "/v1/inventory", smallInventory)
+	if scratch.Cached {
+		t.Fatal("store-less server claims a cache hit")
+	}
+	if !bytes.Equal(fresh.Result, scratch.Result) {
+		t.Fatal("stored result differs from an independent fresh computation")
+	}
+}
+
+// TestStoreInvalidationOnTechnology pins the cache-identity bugfix at
+// the service layer: the same request against a different technology
+// must not hit entries written by the default one.
+func TestStoreInvalidationOnTechnology(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	if env := postEnvelope(t, s1, "/v1/inventory", smallInventory); env.Cached {
+		t.Fatal("first request cached")
+	}
+	s1.Close()
+
+	tech := dram.Default()
+	tech.VDD *= 1.1
+	s2 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2, Tech: &tech})
+	if env := postEnvelope(t, s2, "/v1/inventory", smallInventory); env.Cached {
+		t.Fatal("changed technology still hit the default-technology store entry")
+	}
+}
+
+// TestSingleflightCollapse fires N identical concurrent requests at a
+// store-less server and requires that all but one joined the leader's
+// flight, with identical payloads.
+func TestSingleflightCollapse(t *testing.T) {
+	s := newTestServer(t, Config{Parallelism: 2})
+	const n = 8
+	envs := make([]envelope, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			envs[i] = postEnvelope(t, s, "/v1/inventory", smallInventory)
+		}(i)
+	}
+	wg.Wait()
+	collapsed := 0
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(envs[0].Result, envs[i].Result) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+		if envs[i].Collapsed {
+			collapsed++
+		}
+	}
+	if envs[0].Collapsed {
+		collapsed++
+	}
+	if collapsed == 0 {
+		t.Fatal("no request collapsed into the leader's flight")
+	}
+	if got := s.flights.Collapsed(); got == 0 {
+		t.Fatal("flight group counted no collapses")
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	env := postEnvelope(t, s, "/v1/coverage",
+		`{"tests":["MATS+"],"catalog":"classical","rows":3,"cols":3}`)
+	var rows []struct {
+		Test     string `json:"test"`
+		Fault    string `json:"fault"`
+		Detected bool   `json:"detected"`
+	}
+	if err := json.Unmarshal(env.Result, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || rows[0].Test != "MATS+" {
+		t.Fatalf("coverage rows: %s", env.Result)
+	}
+}
+
+func TestTwoCellEndpointWithOffsets(t *testing.T) {
+	s := newTestServer(t, Config{})
+	env := postEnvelope(t, s, "/v1/twocell",
+		`{"test":"MATS+","rows":3,"cols":3,"offsets":[1,-1]}`)
+	var cert struct {
+		Test    string `json:"test"`
+		Offsets []int  `json:"offsets"`
+		Entries []struct {
+			Entry  string `json:"entry"`
+			Engine string `json:"engine"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(env.Result, &cert); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Test != "MATS+" || len(cert.Offsets) != 2 || len(cert.Entries) == 0 {
+		t.Fatalf("certificate: %s", env.Result)
+	}
+}
+
+func TestMatrixEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	env := postEnvelope(t, s, "/v1/matrix", `{"tests":["MATS+","March C-"]}`)
+	var m struct {
+		Tests    []string `json:"tests"`
+		Detects  int      `json:"detects"`
+		Misses   int      `json:"misses"`
+		Unknowns int      `json:"unknowns"`
+		Rows     []any    `json:"rows"`
+	}
+	if err := json.Unmarshal(env.Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tests) != 2 || m.Detects+m.Misses+m.Unknowns != len(m.Rows) {
+		t.Fatalf("matrix: tests %v, %d+%d+%d vs %d rows",
+			m.Tests, m.Detects, m.Misses, m.Unknowns, len(m.Rows))
+	}
+}
+
+func TestPredictEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{})
+	env := postEnvelope(t, s, "/v1/predict", `{"open":3}`)
+	var fl FloatPredictionJSON
+	if err := json.Unmarshal(env.Result, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.Open != 3 || fl.Element == "" {
+		t.Fatalf("float prediction: %s", env.Result)
+	}
+
+	env = postEnvelope(t, s, "/v1/predict", `{"defects":[{"site":"bridge.bl.bl","ohms":2e6}]}`)
+	var mp struct {
+		Elems []string `json:"elems"`
+	}
+	if err := json.Unmarshal(env.Result, &mp); err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Elems) != 1 {
+		t.Fatalf("merge prediction: %s", env.Result)
+	}
+}
+
+func TestPredictRejectsAmbiguousRequest(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, body := range []string{`{}`, `{"open":1,"defects":[{"site":"bridge.bl.bl"}]}`} {
+		if code, _ := post(t, s, "/v1/predict", body); code != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, code)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct{ path, body string }{
+		{"/v1/inventory", `{"engine":"verilog"}`},
+		{"/v1/inventory", `{"opens":[99]}`},
+		{"/v1/inventory", `{"bogus_field":1}`},
+		{"/v1/coverage", `{"catalog":"imaginary"}`},
+		{"/v1/coverage", `{"engine":"quantum"}`},
+		{"/v1/coverage", `{"tests":["March ZZ"]}`},
+		{"/v1/twocell", `{}`},
+		{"/v1/twocell", `{"test":"MATS+","offsets":[0]}`},
+		{"/v1/predict", `{"defects":[{"site":"nowhere"}]}`},
+		{"/v1/batch", `{"requests":[]}`},
+	}
+	for _, c := range cases {
+		code, buf := post(t, s, c.path, c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d (%s), want 400", c.path, c.body, code, buf)
+		}
+	}
+}
+
+// TestBatch runs a mixed batch with an intra-batch duplicate and an
+// invalid item: the duplicates must agree byte-for-byte, and the bad
+// item must fail without poisoning the rest.
+func TestBatch(t *testing.T) {
+	s := newTestServer(t, Config{Parallelism: 2})
+	body := fmt.Sprintf(`{"requests":[
+		{"kind":"matrix","body":{"tests":["MATS+"]}},
+		{"kind":"inventory","body":%s},
+		{"kind":"inventory","body":%s},
+		{"kind":"espresso","body":{}},
+		{"kind":"predict","body":{"open":1}}
+	]}`, smallInventory, smallInventory)
+	code, buf := post(t, s, "/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, buf)
+	}
+	var got struct {
+		Responses []BatchItemResult `json:"responses"`
+	}
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Responses) != 5 {
+		t.Fatalf("%d responses", len(got.Responses))
+	}
+	for i, want := range []int{200, 200, 200, 400, 200} {
+		if got.Responses[i].Status != want {
+			t.Errorf("item %d: status %d (%s), want %d",
+				i, got.Responses[i].Status, got.Responses[i].Error, want)
+		}
+	}
+	var a, b envelope
+	if err := json.Unmarshal(got.Responses[1].Body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got.Responses[2].Body, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Result, b.Result) {
+		t.Fatal("duplicate batch items returned different bytes")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	postEnvelope(t, s, "/v1/inventory", smallInventory)
+	postEnvelope(t, s, "/v1/inventory", smallInventory)
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["inventory"] != 2 {
+		t.Fatalf("request counter = %d", m.Requests["inventory"])
+	}
+	if m.Store == nil || m.Store.Puts != 1 || m.Store.Hits != 1 {
+		t.Fatalf("store stats = %+v", m.Store)
+	}
+	if m.Memo.Misses == 0 {
+		t.Fatal("memo delta recorded no misses for the fresh sweep")
+	}
+	if m.Models.Behav == "" || m.Models.Spice == "" || m.Catalog == "" {
+		t.Fatalf("fingerprints missing: %+v", m)
+	}
+}
+
+// TestGridDefaultsAreCanonical checks that spelling the same grid via
+// min/max/steps or via explicit axes produces the same store key, so
+// equivalent requests share cache entries.
+func TestGridDefaultsAreCanonical(t *testing.T) {
+	a := InventoryRequest{RDefMin: 1e3, RDefMax: 1e7, RDefSteps: 3, UMin: 0, UMax: 3.3, USteps: 3}
+	if err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := InventoryRequest{RDefs: a.RDefs, Us: a.Us}
+	if err := b.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := canonicalSpec(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := canonicalSpec(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("specs differ:\n%s\n%s", sa, sb)
+	}
+}

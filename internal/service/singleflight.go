@@ -1,0 +1,57 @@
+package service
+
+import "sync"
+
+// flightGroup collapses concurrent duplicate work: while one caller
+// computes the value for a key, later callers with the same key block
+// and share the first caller's result instead of recomputing. This is
+// the de-duplication layer in front of the expensive sweep pipeline —
+// N identical concurrent requests cost one simulation. (Hand-rolled:
+// the repo carries no external dependencies.)
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	collapsed uint64
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// Do runs fn once per key at a time. The boolean reports whether this
+// caller shared another caller's in-flight result (true) or computed it
+// (false). Results are not cached beyond the flight: once the leader
+// returns, the key is free again — persistent reuse is the store's job.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	g.mu.Lock()
+	if c, inFlight := g.calls[key]; inFlight {
+		g.collapsed++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Collapsed reports how many calls joined another caller's flight.
+func (g *flightGroup) Collapsed() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.collapsed
+}
