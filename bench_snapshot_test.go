@@ -50,6 +50,7 @@ func TestBenchSnapshot(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"BenchmarkTable1PartialFaultInventory", BenchmarkTable1PartialFaultInventory},
+		{"BenchmarkTracedPlaneSweep", BenchmarkTracedPlaneSweep},
 		{"BenchmarkSpicePlaneSweepNaive", BenchmarkSpicePlaneSweepNaive},
 		{"BenchmarkSpicePlaneSweepPooled", BenchmarkSpicePlaneSweepPooled},
 		{"BenchmarkSpiceOperation", BenchmarkSpiceOperation},

@@ -56,6 +56,39 @@ func BenchmarkFig3aBitLineOpenPlane(b *testing.B) {
 	b.ReportMetric(uHigh, "U-ceiling-V(paper≈2)")
 }
 
+// BenchmarkTracedPlaneSweep measures the adaptive boundary-tracing
+// sweep on the Figure 3(a) plane at the catalog's seed resolution
+// (13×12, the service default). Metrics: the fraction of grid points
+// it actually simulated and the simulation-reduction factor over a
+// dense sweep of the same grid (DESIGN.md §14; the ≥5× acceptance
+// target is the aggregate across all nine opens — single planes
+// vary). The traced plane is bit-identical to the dense one, so the
+// reduction is pure saved work.
+func BenchmarkTracedPlaneSweep(b *testing.B) {
+	o, _ := defect.ByID(4)
+	grp, _ := o.Float(defect.FloatBitLine)
+	rdefs, us := numeric.Logspace(1e3, 1e7, 13), numeric.Linspace(0, 3.3, 12)
+	var stats analysis.TraceStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plane, s, err := analysis.TracePlane(analysis.TraceConfig{SweepConfig: analysis.SweepConfig{
+			Factory: NewBehavFactory(), Open: o, Float: grp,
+			SOS:   fp.NewSOS(fp.Init1, fp.R(1)),
+			RDefs: rdefs, Us: us,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(analysis.IdentifyPartialFaults(plane)) == 0 {
+			b.Fatal("traced Figure 3(a) must show a partial RDF1")
+		}
+		stats = s
+	}
+	b.ReportMetric(float64(stats.Simulated())/float64(stats.Points()), "simulated-fraction")
+	b.ReportMetric(stats.Reduction(), "reduction-x")
+}
+
 // BenchmarkFig3bCompletedSOSPlane regenerates Figure 3(b): Open 4 under
 // S = 1v [w0BL] r1v. Metric: 1 when RDF1 is sensitized for every U at
 // every faulty R_def (the paper's completion claim).

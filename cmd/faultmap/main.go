@@ -7,6 +7,11 @@
 //	faultmap -open 4 -sos "<1r1/0/0>" [-engine behav|spice]
 //	         [-rdef-min 1e3] [-rdef-max 1e7] [-rdef-steps 13]
 //	         [-u-min 0] [-u-max 3.3] [-u-steps 12] [-csv]
+//	         [-sweep dense|traced]
+//
+// -sweep traced replaces the dense grid sweep with the adaptive
+// boundary tracer (DESIGN.md §14): identical map, a fraction of the
+// simulations; the simulated/inferred split is reported on stderr.
 //
 // The -sos flag accepts either a bare SOS ("1r1", "1v [w0BL] r1v") or a
 // full fault primitive whose S part is used.
@@ -63,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		uMax      = fs.Float64("u-max", 3.3, "maximum floating voltage [V]")
 		uSteps    = fs.Int("u-steps", 12, "linear voltage steps")
 		csv       = fs.Bool("csv", false, "emit CSV instead of the ASCII map")
+		sweepMode = fs.String("sweep", "dense", "plane-sweep strategy: dense (simulate every grid point) or traced (adaptive boundary tracing, identical map)")
 		doLint    = fs.Bool("lint", false, "run the static-analysis pre-flight and abort on errors")
 		predict   = fs.Bool("predict", false, "print the statically predicted floating-line set for the open and exit")
 		defSite   = fs.String("defect", "", "comma-separated short/bridge defect sites, each optionally @ohms (e.g. short.cell.gnd,bridge.cell.cell or short.bl.vdd@2e3); with -predict, prints the net-merge verdict table instead of an open's float set")
@@ -134,13 +140,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("unknown engine %q", *engine)
 	}
 
-	plane, err := analysis.SweepPlane(analysis.SweepConfig{
+	mode, err := analysis.ParseSweepMode(*sweepMode)
+	if err != nil {
+		return fail("bad -sweep: %v", err)
+	}
+	var trace analysis.TraceCounters
+	plane, err := analysis.RunSweep(mode, 0, &trace, analysis.SweepConfig{
 		Factory: factory, Open: open, Float: group, SOS: sos,
 		RDefs: numeric.Logspace(*rdefMin, *rdefMax, *rdefSteps),
 		Us:    numeric.Linspace(*uMin, *uMax, *uSteps),
 	})
 	if err != nil {
 		return fail("sweep: %v", err)
+	}
+	if mode == analysis.SweepTraced {
+		ts, _ := trace.Snapshot()
+		fmt.Fprintf(stderr, "faultmap: traced sweep simulated %d of %d points (%d inferred, %.1fx fewer simulations)\n",
+			ts.Simulated(), ts.Points(), ts.Inferred, ts.Reduction())
 	}
 	if *csv {
 		if err := report.WritePlaneCSV(stdout, plane); err != nil {

@@ -25,6 +25,7 @@ func TestRunBadFlags(t *testing.T) {
 		{"-twocell", "March ZZ"},
 		{"-twocell", "MATS+", "-march-engine", "quantum"},
 		{"-prove", "March ZZ"},
+		{"-sweep", "sideways"},
 	}
 	for _, args := range cases {
 		code, _, errw := runCLI(t, args...)
@@ -46,6 +47,27 @@ func TestRunFaultMap(t *testing.T) {
 	}
 	if !strings.Contains(out, "R_def") && !strings.Contains(out, "U") {
 		t.Fatalf("map output:\n%s", out)
+	}
+}
+
+// TestRunFaultMapTraced checks the -sweep traced path: the map on
+// stdout must be byte-identical to the dense sweep's, with the
+// simulated/inferred split reported on stderr.
+func TestRunFaultMapTraced(t *testing.T) {
+	grid := []string{"-open", "4", "-sos", "1r1", "-rdef-steps", "13", "-u-steps", "12"}
+	code, dense, errw := runCLI(t, append(grid, "-sweep", "dense")...)
+	if code != 0 {
+		t.Fatalf("dense exit %d: %s", code, errw)
+	}
+	code, traced, errw := runCLI(t, append(grid, "-sweep", "traced")...)
+	if code != 0 {
+		t.Fatalf("traced exit %d: %s", code, errw)
+	}
+	if traced != dense {
+		t.Errorf("traced map differs from dense map:\n--- dense ---\n%s--- traced ---\n%s", dense, traced)
+	}
+	if !strings.Contains(errw, "traced sweep simulated") {
+		t.Errorf("missing trace stats on stderr: %q", errw)
 	}
 }
 

@@ -13,8 +13,8 @@
 // Endpoints (POST JSON unless noted):
 //
 //	GET  /v1/healthz    liveness
-//	GET  /v1/metrics    request/cache/singleflight counters
-//	POST /v1/inventory  {"engine":"behav|spice","opens":[..],"rdefs":[..],"us":[..]}
+//	GET  /v1/metrics    request/cache/singleflight/traced-sweep counters
+//	POST /v1/inventory  {"engine":"behav|spice","sweep":"dense|traced","opens":[..],"rdefs":[..],"us":[..]}
 //	POST /v1/coverage   {"tests":[..],"catalog":"classical|paper","engine":"memsim|bitsim"}
 //	POST /v1/twocell    {"test":"MATS+","offsets":[1,-1],"rows":4,"cols":4}
 //	POST /v1/matrix     {"tests":[..]}

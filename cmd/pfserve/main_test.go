@@ -80,6 +80,65 @@ func TestServeHealthzAndMatrix(t *testing.T) {
 	}
 }
 
+// TestServeTracedInventory drives the traced-sweep knob end to end
+// over HTTP: a traced inventory answers, the dense spelling of the
+// same request hits its store entry byte for byte, and /v1/metrics
+// reports the traced-sweep work.
+func TestServeTracedInventory(t *testing.T) {
+	base := bootServer(t, "-store", t.TempDir())
+	grid := `"opens":[1],"rdefs":[1e3,1e4,1e5,1e6,1e7],"us":[0,0.66,1.32,1.98,2.64,3.3]`
+	fetch := func(body string) (bool, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/inventory", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("inventory: %d", resp.StatusCode)
+		}
+		var env struct {
+			Cached bool            `json:"cached"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return env.Cached, env.Result
+	}
+	cached, traced := fetch(`{"sweep":"traced",` + grid + `}`)
+	if cached {
+		t.Fatal("first traced request claims cached")
+	}
+	cached, dense := fetch(`{` + grid + `}`)
+	if !cached {
+		t.Fatal("dense request missed the traced store entry")
+	}
+	if !bytes.Equal(traced, dense) {
+		t.Fatal("traced and dense payloads differ")
+	}
+
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Trace struct {
+			Planes    int     `json:"planes"`
+			Simulated int     `json:"simulated"`
+			Inferred  int     `json:"inferred"`
+			Reduction float64 `json:"reduction"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trace.Planes == 0 || m.Trace.Simulated == 0 {
+		t.Fatalf("metrics missing traced-sweep work: %+v", m.Trace)
+	}
+}
+
 // TestConcurrentDuplicatesCollapse boots the real server, fires
 // concurrent identical sweep requests over HTTP and asserts the
 // singleflight layer collapsed the duplicates (via /v1/metrics).

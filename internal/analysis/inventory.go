@@ -59,6 +59,15 @@ type InventoryConfig struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per pipeline step.
 	Progress func(string)
+	// Sweep selects the plane-sweep strategy; the zero value is dense.
+	// Traced sweeps produce identical planes (the differential suite
+	// proves it on the catalog) with far fewer simulations.
+	Sweep SweepMode
+	// TraceStride overrides the traced sweep's seed stride (0 = default).
+	TraceStride int
+	// Trace, when non-nil, accumulates traced-sweep statistics across
+	// all the pipeline's plane sweeps.
+	Trace *TraceCounters
 
 	// Model fingerprints the Factory for memo keying; required when Memo
 	// is shared across factories or persisted.
@@ -157,7 +166,7 @@ func BuildInventory(cfg InventoryConfig) ([]Row, error) {
 			defer replay.Close()
 			seen := map[fp.FFM]bool{}
 			for _, sos := range soses {
-				plane, err := SweepPlane(SweepConfig{
+				plane, err := RunSweep(cfg.Sweep, cfg.TraceStride, cfg.Trace, SweepConfig{
 					Factory: cfg.Factory, Open: open, Float: group, SOS: sos,
 					RDefs: cfg.RDefs, Us: cfg.Us,
 					Model: cfg.Model, Ctx: cfg.Ctx,

@@ -3,7 +3,6 @@ package analysis
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"github.com/memtest/partialfaults/internal/defect"
 	"github.com/memtest/partialfaults/internal/fp"
@@ -76,6 +75,20 @@ type SweepConfig struct {
 	Pool *Pool
 }
 
+// pointAt materializes the Point for one grid position from its raw
+// simulation outcome. The Outcome fully determines the classification,
+// so dense sweeps and traced sweeps that agree on outcomes produce
+// byte-identical Points through this single code path.
+func pointAt(sos fp.SOS, rdef, u float64, out Outcome) Point {
+	pt := Point{RDef: rdef, U: u}
+	if obs, faulty := ClassifyOutcome(sos, out); faulty {
+		pt.Faulty = true
+		pt.FP = obs
+		pt.FFM = obs.Classify()
+	}
+	return pt
+}
+
 // SweepPlane simulates every grid point, in parallel. Points are fully
 // independent (each builds — or checks caches for — its own defective
 // memory state), so the sweep spawns one goroutine per point gated by a
@@ -94,49 +107,26 @@ func SweepPlane(cfg SweepConfig) (*Plane, error) {
 		Us:    cfg.Us,
 	}
 	p.Points = make([][]Point, len(cfg.RDefs))
-	errs := make([][]error, len(cfg.RDefs))
 	for i := range p.Points {
 		p.Points[i] = make([]Point, len(cfg.Us))
-		errs[i] = make([]error, len(cfg.Us))
 	}
 	pool := cfg.Pool
 	if pool == nil {
 		pool = NewPool(cfg.Parallelism)
 	}
-	var wg sync.WaitGroup
-	for i := range cfg.RDefs {
-		for j := range cfg.Us {
-			wg.Add(1)
-			go func(i, j int) {
-				defer wg.Done()
-				err := pool.DoContext(cfg.Ctx, func() {
-					rdef, u := cfg.RDefs[i], cfg.Us[j]
-					out, err := evalSOS(cfg.Model, cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS, cfg.Memo, cfg.Replay)
-					if err != nil {
-						errs[i][j] = fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err)
-						return
-					}
-					pt := Point{RDef: rdef, U: u}
-					if obs, faulty := ClassifyOutcome(cfg.SOS, out); faulty {
-						pt.Faulty = true
-						pt.FP = obs
-						pt.FFM = obs.Classify()
-					}
-					p.Points[i][j] = pt
-				})
-				if err != nil {
-					errs[i][j] = err
-				}
-			}(i, j)
+	nU := len(cfg.Us)
+	err := pool.ForEach(cfg.Ctx, len(cfg.RDefs)*nU, func(k int) error {
+		i, j := k/nU, k%nU
+		rdef, u := cfg.RDefs[i], cfg.Us[j]
+		out, err := evalSOS(cfg.Model, cfg.Factory, cfg.Open, rdef, cfg.Float.Nets, u, cfg.SOS, cfg.Memo, cfg.Replay)
+		if err != nil {
+			return fmt.Errorf("analysis: point (%.3g Ω, %.3g V): %w", rdef, u, err)
 		}
-	}
-	wg.Wait()
-	for i := range errs {
-		for j := range errs[i] {
-			if errs[i][j] != nil {
-				return nil, errs[i][j]
-			}
-		}
+		p.Points[i][j] = pointAt(cfg.SOS, rdef, u, out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/fp"
+)
+
+// handPlane builds a Plane directly from an FFM layout so the readings
+// can be checked against hand-computed answers. A nil entry is a
+// fault-free point; everything else is faulty with that FFM.
+func handPlane(rdefs, us []float64, ffms [][]*fp.FFM) *Plane {
+	p := &Plane{RDefs: rdefs, Us: us, Points: make([][]Point, len(rdefs))}
+	for i := range rdefs {
+		p.Points[i] = make([]Point, len(us))
+		for j := range us {
+			pt := Point{RDef: rdefs[i], U: us[j]}
+			if f := ffms[i][j]; f != nil {
+				pt.Faulty = true
+				pt.FFM = *f
+			}
+			p.Points[i][j] = pt
+		}
+	}
+	return p
+}
+
+func ffmp(f fp.FFM) *fp.FFM { return &f }
+
+func TestMinRDefWithFFM(t *testing.T) {
+	rdefs := []float64{1e3, 1e4, 1e5}
+	us := []float64{0, 1.65, 3.3}
+	sf0, rdf1, unk := ffmp(fp.SF0), ffmp(fp.RDF1), ffmp(fp.FFMUnknown)
+	p := handPlane(rdefs, us, [][]*fp.FFM{
+		// u:    0     1.65  3.3
+		{sf0, nil, rdf1},  // R_def 1e3
+		{sf0, nil, nil},   // R_def 1e4
+		{rdf1, unk, rdf1}, // R_def 1e5
+	})
+
+	cases := []struct {
+		name string
+		f    fp.FFM
+		uIdx int
+		want float64
+		ok   bool
+	}{
+		{"first row, first U", fp.SF0, 0, 1e3, true},
+		{"last row only, first U", fp.RDF1, 0, 1e5, true},
+		{"first row, last U", fp.RDF1, 2, 1e3, true},
+		{"absent FFM", fp.TFUp, 0, 0, false},
+		{"FFM present elsewhere but not this column", fp.SF0, 1, 0, false},
+		{"FFM present elsewhere but not this column, last U", fp.SF0, 2, 0, false},
+		{"faulty-but-unnamed point is found via FFMUnknown", fp.FFMUnknown, 1, 1e5, true},
+		// The latent gap this guards: fault-free points carry the
+		// FFMUnknown zero value, so without the Faulty guard a query
+		// for FFMUnknown would wrongly match row 0's clean middle.
+		{"fault-free points never match FFMUnknown", fp.FFMUnknown, 0, 0, false},
+		{"fault-free points never match FFMUnknown, last U", fp.FFMUnknown, 2, 0, false},
+	}
+	for _, c := range cases {
+		r, ok := p.MinRDefWithFFM(c.f, c.uIdx)
+		if r != c.want || ok != c.ok {
+			t.Errorf("%s: MinRDefWithFFM(%v, %d) = (%v, %v), want (%v, %v)",
+				c.name, c.f, c.uIdx, r, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMinRDefWithFFMEmptyRegion(t *testing.T) {
+	// A plane with no faults anywhere: every query must miss, for
+	// named FFMs and for FFMUnknown alike.
+	rdefs := []float64{1e3, 1e7}
+	us := []float64{0, 3.3}
+	p := handPlane(rdefs, us, [][]*fp.FFM{{nil, nil}, {nil, nil}})
+	for _, f := range []fp.FFM{fp.FFMUnknown, fp.SF0, fp.IRF1} {
+		for uIdx := range us {
+			if r, ok := p.MinRDefWithFFM(f, uIdx); ok || r != 0 {
+				t.Errorf("clean plane: MinRDefWithFFM(%v, %d) = (%v, %v), want (0, false)", f, uIdx, r, ok)
+			}
+		}
+	}
+}
+
+func TestRowFFM(t *testing.T) {
+	rdefs := []float64{1e3, 1e4, 1e5, 1e6}
+	us := []float64{0, 1.1, 2.2, 3.3}
+	sf0, tfu, unk := ffmp(fp.SF0), ffmp(fp.TFUp), ffmp(fp.FFMUnknown)
+	p := handPlane(rdefs, us, [][]*fp.FFM{
+		{sf0, sf0, sf0, sf0}, // all faulty, one FFM
+		{nil, nil, nil, nil}, // fault-free row
+		{sf0, tfu, nil, sf0}, // mixed row
+		{unk, nil, nil, unk}, // unnamed faults at both boundary columns
+	})
+
+	cases := []struct {
+		name  string
+		i     int
+		f     fp.FFM
+		count int
+	}{
+		{"uniform row counts every column", 0, fp.SF0, 4},
+		{"uniform row, absent FFM", 0, fp.TFUp, 0},
+		{"fault-free row, named FFM", 1, fp.SF0, 0},
+		// Fault-free points are FFMUnknown-valued but not Faulty; the
+		// empty row must still count zero for FFMUnknown.
+		{"fault-free row, FFMUnknown", 1, fp.FFMUnknown, 0},
+		{"mixed row counts only the queried FFM", 2, fp.SF0, 2},
+		{"mixed row, minority FFM", 2, fp.TFUp, 1},
+		{"boundary columns with unnamed faults", 3, fp.FFMUnknown, 2},
+		{"last row, absent named FFM", 3, fp.SF0, 0},
+	}
+	for _, c := range cases {
+		count, total := p.RowFFM(c.i, c.f)
+		if count != c.count || total != len(us) {
+			t.Errorf("%s: RowFFM(%d, %v) = (%d, %d), want (%d, %d)",
+				c.name, c.i, c.f, count, total, c.count, len(us))
+		}
+	}
+}
+
+func TestRowFFMSinglePointPlane(t *testing.T) {
+	// Degenerate 1×1 planes: boundary indices are the only indices.
+	faulty := handPlane([]float64{1e5}, []float64{1.65}, [][]*fp.FFM{{ffmp(fp.WDF1)}})
+	if count, total := faulty.RowFFM(0, fp.WDF1); count != 1 || total != 1 {
+		t.Errorf("1x1 faulty: RowFFM = (%d, %d), want (1, 1)", count, total)
+	}
+	if r, ok := faulty.MinRDefWithFFM(fp.WDF1, 0); !ok || r != 1e5 {
+		t.Errorf("1x1 faulty: MinRDefWithFFM = (%v, %v), want (1e5, true)", r, ok)
+	}
+	clean := handPlane([]float64{1e5}, []float64{1.65}, [][]*fp.FFM{{nil}})
+	if count, total := clean.RowFFM(0, fp.WDF1); count != 0 || total != 1 {
+		t.Errorf("1x1 clean: RowFFM = (%d, %d), want (0, 1)", count, total)
+	}
+	if _, ok := clean.MinRDefWithFFM(fp.FFMUnknown, 0); ok {
+		t.Error("1x1 clean: MinRDefWithFFM(FFMUnknown) found a fault in a clean plane")
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"context"
 	"runtime"
+	"sync"
 )
 
 // Pool is a counting semaphore bounding concurrent simulations across
@@ -51,5 +52,31 @@ func (p *Pool) DoContext(ctx context.Context, f func()) error {
 		return err
 	}
 	f()
+	return nil
+}
+
+// ForEach runs f(0)…f(n-1) concurrently, each under a pool slot, waits
+// for all of them, and returns the lowest-index error — a deterministic
+// choice no matter which task failed first in wall-clock time. A
+// context cancellation abandons not-yet-started tasks (their slot error
+// parks in the same per-index slot), never a running one.
+func (p *Pool) ForEach(ctx context.Context, n int, f func(int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := p.DoContext(ctx, func() { errs[k] = f(k) }); err != nil {
+				errs[k] = err
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }

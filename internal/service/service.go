@@ -68,6 +68,7 @@ type Server struct {
 	outLog *store.OutcomeLog
 
 	flights *flightGroup
+	trace   *analysis.TraceCounters
 
 	mu       sync.Mutex
 	requests map[string]uint64
@@ -85,6 +86,7 @@ func New(cfg Config) (*Server, error) {
 		params:   behav.DefaultParams(),
 		tech:     dram.Default(),
 		flights:  newFlightGroup(),
+		trace:    &analysis.TraceCounters{},
 		requests: map[string]uint64{},
 	}
 	if cfg.Params != nil {
@@ -298,6 +300,15 @@ type MetricsResponse struct {
 		Puts   uint64 `json:"puts"`
 		Len    int    `json:"len"`
 	} `json:"store,omitempty"`
+	// Trace reports traced-sweep work since boot: how many planes ran
+	// in traced mode, how many grid points were simulated vs inferred
+	// without simulation, and the resulting reduction factor.
+	Trace struct {
+		Planes    int     `json:"planes"`
+		Simulated int     `json:"simulated"`
+		Inferred  int     `json:"inferred"`
+		Reduction float64 `json:"reduction"`
+	} `json:"trace"`
 	Models struct {
 		Behav string `json:"behav"`
 		Spice string `json:"spice"`
@@ -327,6 +338,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Len    int    `json:"len"`
 		}{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts, Len: n}
 	}
+	ts, planes := s.trace.Snapshot()
+	resp.Trace.Planes = planes
+	resp.Trace.Simulated = ts.Simulated()
+	resp.Trace.Inferred = ts.Inferred
+	resp.Trace.Reduction = ts.Reduction()
 	resp.Models.Behav = string(s.behavModel)
 	resp.Models.Spice = string(s.spiceModel)
 	resp.Catalog = s.catalogFP
@@ -353,14 +369,29 @@ type InventoryRequest struct {
 	UMin      float64   `json:"u_min,omitempty"`
 	UMax      float64   `json:"u_max,omitempty"`
 	USteps    int       `json:"u_steps,omitempty"`
+	// Sweep is "dense" (default) or "traced" — a pure performance
+	// knob: traced sweeps produce byte-identical planes (proven by the
+	// differential suite), so it is stripped from the store key and
+	// both modes share cached results.
+	Sweep string `json:"sweep,omitempty"`
 }
 
-func (q *InventoryRequest) normalize() error {
+// normalize validates the request and derives explicit grid axes. It
+// returns the sweep mode separately and zeroes the Sweep field along
+// with the consumed Min/Max/Steps triples, so canonicalSpec — and
+// therefore the store key — is identical for traced and dense requests
+// asking for the same result.
+func (q *InventoryRequest) normalize() (analysis.SweepMode, error) {
+	mode, err := analysis.ParseSweepMode(q.Sweep)
+	if err != nil {
+		return "", badRequest("%v", err)
+	}
+	q.Sweep = ""
 	if q.Engine == "" {
 		q.Engine = "behav"
 	}
 	if q.Engine != "behav" && q.Engine != "spice" {
-		return badRequest("unknown engine %q (want behav or spice)", q.Engine)
+		return "", badRequest("unknown engine %q (want behav or spice)", q.Engine)
 	}
 	if len(q.RDefs) == 0 {
 		if q.RDefMin == 0 {
@@ -386,7 +417,7 @@ func (q *InventoryRequest) normalize() error {
 	q.RDefMin, q.RDefMax, q.RDefSteps = 0, 0, 0
 	q.UMin, q.UMax, q.USteps = 0, 0, 0
 	sort.Ints(q.Opens)
-	return nil
+	return mode, nil
 }
 
 func (s *Server) model(engine string) analysis.Fingerprint {
@@ -410,7 +441,8 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := q.normalize(); err != nil {
+	mode, err := q.normalize()
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -439,6 +471,7 @@ func (s *Server) handleInventory(w http.ResponseWriter, r *http.Request) {
 			Model: s.model(q.Engine),
 			Ctx:   r.Context(),
 			Memo:  s.memo, Pool: s.pool,
+			Sweep: mode, Trace: s.trace,
 		})
 		if err != nil {
 			return nil, err

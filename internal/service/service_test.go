@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/memtest/partialfaults/internal/analysis"
 	"github.com/memtest/partialfaults/internal/dram"
 )
 
@@ -99,6 +100,60 @@ func TestStoreEquivalence(t *testing.T) {
 	}
 	if !bytes.Equal(fresh.Result, scratch.Result) {
 		t.Fatal("stored result differs from an independent fresh computation")
+	}
+}
+
+// TestTracedSweepSharesStoreKey pins the traced/dense cache-identity
+// contract: a traced request computes the byte-identical payload, so
+// it shares the dense request's store entry (and vice versa), and the
+// traced computation reports its work in /v1/metrics.
+func TestTracedSweepSharesStoreKey(t *testing.T) {
+	grid := `"rdefs":[1e3,3e3,1e4,3e4,1e5,3e5,1e6,3e6,1e7],"us":[0,0.3,0.6,0.9,1.2,1.5,1.8,2.1,2.4,2.7,3.0,3.3]`
+	dense := `{"opens":[1],` + grid + `}`
+	traced := `{"opens":[1],"sweep":"traced",` + grid + `}`
+
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	freshTraced := postEnvelope(t, s1, "/v1/inventory", traced)
+	if freshTraced.Cached {
+		t.Fatal("first (traced) request claims to be cached")
+	}
+	hitDense := postEnvelope(t, s1, "/v1/inventory", dense)
+	if !hitDense.Cached {
+		t.Fatal("dense request missed the traced request's store entry")
+	}
+	if !bytes.Equal(freshTraced.Result, hitDense.Result) {
+		t.Fatal("dense-from-store differs from traced-fresh")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	s1.ServeHTTP(rec, req)
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trace.Planes == 0 || m.Trace.Inferred == 0 {
+		t.Fatalf("traced computation left no trace metrics: %+v", m.Trace)
+	}
+	if m.Trace.Reduction <= 1 {
+		t.Fatalf("traced reduction = %v, want > 1", m.Trace.Reduction)
+	}
+
+	// The reverse direction on an independent server: dense first,
+	// traced joins its entry and the payloads agree bit for bit.
+	s2 := newTestServer(t, Config{StoreDir: t.TempDir(), Parallelism: 2})
+	freshDense := postEnvelope(t, s2, "/v1/inventory", dense)
+	hitTraced := postEnvelope(t, s2, "/v1/inventory", traced)
+	if !hitTraced.Cached {
+		t.Fatal("traced request missed the dense request's store entry")
+	}
+	if !bytes.Equal(freshDense.Result, freshTraced.Result) {
+		t.Fatal("dense and traced fresh computations disagree")
+	}
+
+	if code, buf := post(t, s2, "/v1/inventory", `{"sweep":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad sweep mode: status %d: %s", code, buf)
 	}
 }
 
@@ -344,12 +399,15 @@ func TestMetrics(t *testing.T) {
 // equivalent requests share cache entries.
 func TestGridDefaultsAreCanonical(t *testing.T) {
 	a := InventoryRequest{RDefMin: 1e3, RDefMax: 1e7, RDefSteps: 3, UMin: 0, UMax: 3.3, USteps: 3}
-	if err := a.normalize(); err != nil {
+	if _, err := a.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	b := InventoryRequest{RDefs: a.RDefs, Us: a.Us}
-	if err := b.normalize(); err != nil {
-		t.Fatal(err)
+	// A traced request spelling the same grid must also share the key:
+	// the sweep mode is a performance knob, not part of the result
+	// identity (traced and dense planes are byte-identical).
+	b := InventoryRequest{RDefs: a.RDefs, Us: a.Us, Sweep: "traced"}
+	if mode, err := b.normalize(); err != nil || mode != analysis.SweepTraced {
+		t.Fatalf("normalize: mode=%v err=%v", mode, err)
 	}
 	sa, err := canonicalSpec(&a)
 	if err != nil {
