@@ -58,6 +58,7 @@ func TestBenchSnapshot(t *testing.T) {
 		{"BenchmarkBitsimMarchPF", BenchmarkBitsimMarchPF},
 		{"BenchmarkMemsimMarchPF", BenchmarkMemsimMarchPF},
 		{"BenchmarkServeLoad", BenchmarkServeLoad},
+		{"BenchmarkStressMatrix", BenchmarkStressMatrix},
 	}
 	snap := benchSnapshot{
 		Date:      time.Now().UTC().Format(time.RFC3339),

@@ -26,6 +26,12 @@
 // catalog and the two-cell catalog: proved Detects/Misses verdicts
 // quantified over every geometry, placement and address order, with the
 // proof trace or witness behind each verdict.
+//
+// -stress sweeps the full defect catalog at every operating corner
+// (-corners "low-vdd;hot" or name:key=val,... derivations; default: the
+// built-in corner set) and prints the per-corner Table 1 inventories,
+// the corner deltas against nominal, and the worst-corner coverage
+// certificate. -engine, -march-engine and the grid flags apply.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"github.com/memtest/partialfaults/internal/netlint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
+	"github.com/memtest/partialfaults/internal/stress"
 )
 
 func main() {
@@ -75,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		twoCell   = fs.String("twocell", "", "march test name (or \"all\") whose two-cell coverage certificate to print; exits nonzero on an unsound certificate")
 		marchEng  = fs.String("march-engine", "memsim", "march simulation backend for -twocell: memsim (scalar oracle) or bitsim (bit-plane)")
 		proveTest = fs.String("prove", "", "march test name (or \"all\") whose static three-valued detection matrix to print; exits nonzero when the prover and the completion pre-pass disagree")
+		doStress  = fs.Bool("stress", false, "sweep the defect catalog at every operating corner and print per-corner inventories, corner deltas and the worst-corner coverage certificate")
+		cornersFl = fs.String("corners", "", "semicolon-separated corner list for -stress: built-in names (nominal, low-vdd, high-vdd, weak-precharge, hot, cold) or name:key=val,... derivations (keys vdd, vpp, bleq, vref, temp); default: the built-in set")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,6 +99,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *doStress {
+		err := stressMatrix(stdout, stderr, stressOpts{
+			engine: *engine, marchEngine: *marchEng,
+			corners: *cornersFl, sweep: *sweepMode,
+			rdefs: numeric.Logspace(*rdefMin, *rdefMax, *rdefSteps),
+			us:    numeric.Linspace(*uMin, *uMax, *uSteps),
+		})
+		if err != nil {
+			return fail("%v", err)
+		}
+		return 0
+	}
 	if *proveTest != "" {
 		if err := detectionMatrix(stdout, *proveTest); err != nil {
 			return fail("%v", err)
@@ -310,6 +331,56 @@ func detectionMatrix(w io.Writer, name string) error {
 	}
 	if len(m.Drift()) > 0 {
 		return fmt.Errorf("prove: the detection prover and the completion pre-pass disagree")
+	}
+	return nil
+}
+
+// stressOpts carries the CLI knobs of the -stress mode.
+type stressOpts struct {
+	engine, marchEngine, corners, sweep string
+	rdefs, us                           []float64
+}
+
+// stressMatrix runs the stress-condition scenario matrix and prints the
+// per-corner inventories, the corner deltas against nominal and the
+// worst-corner certificate. Corner progress goes to stderr.
+func stressMatrix(stdout, stderr io.Writer, o stressOpts) error {
+	corners := stress.DefaultCorners()
+	if o.corners != "" {
+		var err error
+		corners, err = stress.ParseSpecs(o.corners)
+		if err != nil {
+			return fmt.Errorf("bad -corners: %v", err)
+		}
+	}
+	var eng march.Engine
+	switch o.marchEngine {
+	case "memsim":
+		eng = march.ScalarEngine{}
+	case "bitsim":
+		eng = bitsim.New()
+	default:
+		return fmt.Errorf("unknown -march-engine %q (want memsim or bitsim)", o.marchEngine)
+	}
+	mode, err := analysis.ParseSweepMode(o.sweep)
+	if err != nil {
+		return fmt.Errorf("bad -sweep: %v", err)
+	}
+	res, err := stress.Analyze(stress.Config{
+		Corners: corners,
+		Engine:  o.engine,
+		MarchEngine: eng,
+		RDefs:   o.rdefs, Us: o.us,
+		Sweep: mode,
+		Progress: func(line string) {
+			fmt.Fprintf(stderr, "faultmap: %s\n", line)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("stress: %v", err)
+	}
+	if err := report.WriteStressMatrix(stdout, res); err != nil {
+		return fmt.Errorf("stress: %v", err)
 	}
 	return nil
 }

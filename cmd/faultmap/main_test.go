@@ -119,3 +119,68 @@ func TestRunProveAndTwoCell(t *testing.T) {
 		t.Fatalf("twocell output:\n%s", out)
 	}
 }
+
+// TestRunStress drives the -stress mode end to end on a reduced grid
+// and a single extra corner: the report must carry every section — the
+// header, both per-corner inventories, the delta report and the
+// worst-corner certificate — with the corner progress on stderr.
+func TestRunStress(t *testing.T) {
+	code, out, errw := runCLI(t,
+		"-stress", "-corners", "low-vdd",
+		"-rdef-steps", "2", "-u-steps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	for _, want := range []string{
+		"# Stress matrix — engine behav, march engine memsim",
+		"## Corner nominal (nominal:",
+		"## Corner low-vdd (low-vdd:vdd=0.9,vpp=0.9",
+		"## Corner deltas vs nominal",
+		"## Worst-corner certificate —",
+		"| Sim. FFM |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stress report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errw, "corner low-vdd: sweeping inventory") {
+		t.Errorf("missing corner progress on stderr: %q", errw)
+	}
+}
+
+// TestRunStressExplicitCorner checks the name:key=val,... derivation
+// path and the traced sweep through -stress.
+func TestRunStressExplicitCorner(t *testing.T) {
+	code, out, errw := runCLI(t,
+		"-stress", "-corners", "burn-in:temp=125,vdd=1.05", "-sweep", "traced",
+		"-rdef-steps", "2", "-u-steps", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw)
+	}
+	if !strings.Contains(out, "## Corner burn-in (burn-in:vdd=1.05,vpp=1,bleq=0,vref=0,temp=125)") {
+		t.Errorf("derived corner missing from report:\n%s", out)
+	}
+}
+
+// TestRunStressBadCorners: invalid corner lists fail fast with exit 1.
+func TestRunStressBadCorners(t *testing.T) {
+	cases := [][]string{
+		{"-stress", "-corners", "volcanic"},
+		{"-stress", "-corners", "x:vdd=-1"},
+		{"-stress", "-corners", "x:temp=500"},
+		{"-stress", "-corners", "hot;hot"},
+		{"-stress", "-corners", "x:warp=9"},
+		{"-stress", "-march-engine", "quantum"},
+		{"-stress", "-engine", "verilog"},
+		{"-stress", "-sweep", "sideways"},
+	}
+	for _, args := range cases {
+		code, _, errw := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("run(%v) exit %d, want 1", args, code)
+		}
+		if errw == "" {
+			t.Errorf("run(%v) failed silently", args)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 //	POST /v1/twocell    {"test":"MATS+","offsets":[1,-1],"rows":4,"cols":4}
 //	POST /v1/matrix     {"tests":[..]}
 //	POST /v1/predict    {"open":4} or {"defects":[{"site":"bridge.bl.bl","ohms":2e6}]}
+//	POST /v1/stress     {"corners":"low-vdd;hot","opens":[..],"rdefs":[..],"us":[..]}
 //	POST /v1/batch      {"requests":[{"kind":"matrix","body":{..}},..]}
 package main
 

@@ -139,6 +139,87 @@ func TestServeTracedInventory(t *testing.T) {
 	}
 }
 
+// TestServeStress drives /v1/stress end to end over HTTP: a two-corner
+// matrix on a reduced grid answers with per-corner inventories and a
+// certificate, the repeated request hits the store byte for byte, and
+// /v1/metrics reports the stress work.
+func TestServeStress(t *testing.T) {
+	base := bootServer(t, "-store", t.TempDir())
+	req := `{"corners":"low-vdd","tests":["March PF"],"opens":[1,5],"rdefs":[1e4,1e6],"us":[0,1.5,3.3],"rows":2,"cols":2}`
+	fetch := func() (bool, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/stress", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stress: %d", resp.StatusCode)
+		}
+		var env struct {
+			Cached bool            `json:"cached"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return env.Cached, env.Result
+	}
+	cached, fresh := fetch()
+	if cached {
+		t.Fatal("first stress request claims cached")
+	}
+	var res struct {
+		Corners []struct {
+			Name      string            `json:"name"`
+			Inventory []json.RawMessage `json:"inventory"`
+		} `json:"corners"`
+		Certificate struct {
+			Claims []json.RawMessage `json:"claims"`
+		} `json:"certificate"`
+	}
+	if err := json.Unmarshal(fresh, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corners) != 2 || res.Corners[0].Name != "nominal" || res.Corners[1].Name != "low-vdd" {
+		t.Fatalf("corners: %+v", res.Corners)
+	}
+	for _, c := range res.Corners {
+		if len(c.Inventory) == 0 {
+			t.Fatalf("corner %s has an empty inventory", c.Name)
+		}
+	}
+	if len(res.Certificate.Claims) == 0 {
+		t.Fatal("certificate has no claims")
+	}
+
+	cached, stored := fetch()
+	if !cached {
+		t.Fatal("repeated stress request missed the store")
+	}
+	if !bytes.Equal(fresh, stored) {
+		t.Fatal("fresh and stored stress payloads differ")
+	}
+
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Stress struct {
+			Matrices uint64 `json:"matrices"`
+			Corners  uint64 `json:"corners"`
+		} `json:"stress"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stress.Matrices != 1 || m.Stress.Corners != 2 {
+		t.Fatalf("stress metrics = %+v, want 1 matrix over 2 corners", m.Stress)
+	}
+}
+
 // TestConcurrentDuplicatesCollapse boots the real server, fires
 // concurrent identical sweep requests over HTTP and asserts the
 // singleflight layer collapsed the duplicates (via /v1/metrics).

@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/memtest/partialfaults/internal/device"
 	"github.com/memtest/partialfaults/internal/lint"
@@ -14,6 +15,13 @@ import (
 // cannot open its access device, a precharge phase shorter than the
 // bit-line RC constant); warnings mark configurations that simulate but
 // with degraded margins.
+// MinTempC and MaxTempC bound the junction temperatures a Technology
+// may declare — the extended industrial envelope stress corners sweep.
+const (
+	MinTempC = -60.0
+	MaxTempC = 150.0
+)
+
 func LintTechnology(t Technology) lint.Findings {
 	var out lint.Findings
 	add := func(sev lint.Severity, rule, format string, args ...any) {
@@ -22,6 +30,42 @@ func LintTechnology(t Technology) lint.Findings {
 			Subject: "Technology",
 			Message: fmt.Sprintf(format, args...),
 		})
+	}
+
+	// Finiteness first: NaN compares false against every bound below, so
+	// without this pre-pass a NaN parameter would sail through the range
+	// checks silently — exactly the hole a buggy corner derivation would
+	// fall into.
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"VDD", t.VDD}, {"VPP", t.VPP}, {"VBLEQ", t.VBLEQ}, {"VRefCell", t.VRefCell},
+		{"CCell", t.CCell}, {"CRefCell", t.CRefCell}, {"CWLGate", t.CWLGate},
+		{"CBLPre", t.CBLPre}, {"CBLCell", t.CBLCell}, {"CBLRef", t.CBLRef},
+		{"CBLSA", t.CBLSA}, {"CBLIO", t.CBLIO}, {"CIO", t.CIO},
+		{"COut", t.COut}, {"CSACommon", t.CSACommon},
+		{"RWire", t.RWire}, {"RWriteDriver", t.RWriteDriver},
+		{"ROutSwitch", t.ROutSwitch}, {"ROff", t.ROff},
+		{"TRamp", t.TRamp}, {"TPre", t.TPre}, {"TSettle", t.TSettle},
+		{"TShare", t.TShare}, {"TSense", t.TSense}, {"TWrite", t.TWrite},
+		{"TIO", t.TIO}, {"TClose", t.TClose}, {"DT", t.DT},
+		{"WWLBoost", t.WWLBoost}, {"SAImbalance", t.SAImbalance},
+		{"TempC", t.TempC},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			add(lint.Error, "tech-finite", "%s = %g; every technology parameter must be finite", f.name, f.v)
+		}
+	}
+
+	// Temperature: the derivation formulas (wire TCR, mobility power
+	// law) are calibrated for the industrial/military envelope; outside
+	// it they extrapolate garbage (and below -273.15 °C they divide by a
+	// non-physical absolute temperature).
+	if t.TempC < MinTempC || t.TempC > MaxTempC {
+		add(lint.Error, "tech-temperature",
+			"TempC = %g °C outside the supported stress envelope [%g, %g] °C", t.TempC, MinTempC, MaxTempC)
 	}
 
 	caps := []struct {

@@ -70,6 +70,16 @@ type Technology struct {
 	// offset of the authors' SA design; a few percent of width is well
 	// inside real device mismatch.
 	SAImbalance float64
+
+	// TempC is the junction temperature in degrees Celsius the
+	// parameter set is calibrated at. The field itself drives no
+	// simulation directly — temperature enters through the scaled
+	// resistances and device widths a stress-corner derivation applies —
+	// but recording it here makes every derived corner's Technology
+	// self-describing and keeps two corners that differ only in
+	// temperature from ever sharing a model fingerprint
+	// (TechnologyFingerprint renders every field).
+	TempC float64
 }
 
 // Default returns the calibrated technology used across the repository.
@@ -110,6 +120,8 @@ func Default() Technology {
 		WWLBoost: 1,
 
 		SAImbalance: 0.08,
+
+		TempC: 27,
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/memtest/partialfaults/internal/analysis"
@@ -33,6 +34,7 @@ import (
 	"github.com/memtest/partialfaults/internal/netlint"
 	"github.com/memtest/partialfaults/internal/numeric"
 	"github.com/memtest/partialfaults/internal/report"
+	"github.com/memtest/partialfaults/internal/stress"
 )
 
 // Config parameterizes a Server.
@@ -72,6 +74,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	requests map[string]uint64
+	// stressMatrices and stressCorners count stress matrices actually
+	// computed (store hits and collapsed flights excluded) and the
+	// corner pipelines they swept.
+	stressMatrices uint64
+	stressCorners  uint64
 
 	bootMemo analysis.MemoStats
 }
@@ -125,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/twocell", s.handleTwoCell)
 	s.mux.HandleFunc("POST /v1/matrix", s.handleMatrix)
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/stress", s.handleStress)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	return s, nil
 }
@@ -309,6 +317,12 @@ type MetricsResponse struct {
 		Inferred  int     `json:"inferred"`
 		Reduction float64 `json:"reduction"`
 	} `json:"trace"`
+	// Stress counts stress matrices actually computed (store hits and
+	// collapsed singleflights excluded) and the corner pipelines swept.
+	Stress struct {
+		Matrices uint64 `json:"matrices"`
+		Corners  uint64 `json:"corners"`
+	} `json:"stress"`
 	Models struct {
 		Behav string `json:"behav"`
 		Spice string `json:"spice"`
@@ -323,6 +337,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for k, v := range s.requests {
 		resp.Requests[k] = v
 	}
+	resp.Stress.Matrices = s.stressMatrices
+	resp.Stress.Corners = s.stressCorners
 	s.mu.Unlock()
 	resp.SingleflightCollapsed = s.flights.Collapsed()
 	d := s.memo.Snapshot().Delta(s.bootMemo)
@@ -807,6 +823,188 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, payload, fromStore, collapsed)
 }
 
+// --- stress matrix ---
+
+// StressRequest asks for the stress-condition scenario matrix: the
+// defect catalog swept at every operating corner, with per-corner
+// inventories and coverage, deltas against nominal, and the
+// worst-corner coverage certificate.
+type StressRequest struct {
+	// Engine is "behav" (default) or "spice".
+	Engine string `json:"engine,omitempty"`
+	// MarchEngine is "memsim" (default) or "bitsim".
+	MarchEngine string `json:"march_engine,omitempty"`
+	// Corners is a semicolon-separated corner list (built-in names or
+	// name:key=val,... derivations); empty means the built-in default
+	// corners. A nominal corner is always ensured.
+	Corners string `json:"corners,omitempty"`
+	// Tests restricts the certified march tests; empty means the whole
+	// library.
+	Tests []string `json:"tests,omitempty"`
+	// Opens restricts the analyzed opens by ID.
+	Opens []int `json:"opens,omitempty"`
+	// Grid axes, exactly as in InventoryRequest.
+	RDefs     []float64 `json:"rdefs,omitempty"`
+	Us        []float64 `json:"us,omitempty"`
+	RDefMin   float64   `json:"rdef_min,omitempty"`
+	RDefMax   float64   `json:"rdef_max,omitempty"`
+	RDefSteps int       `json:"rdef_steps,omitempty"`
+	UMin      float64   `json:"u_min,omitempty"`
+	UMax      float64   `json:"u_max,omitempty"`
+	USteps    int       `json:"u_steps,omitempty"`
+	// Rows and Cols set the coverage-simulation geometry (default 4×2).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Sweep is the performance knob of InventoryRequest — stripped from
+	// the store key, since both modes produce byte-identical planes.
+	Sweep string `json:"sweep,omitempty"`
+}
+
+// normalize validates the request, derives grid axes, and rewrites
+// Corners into its canonical form (parsed, nominal ensured, re-rendered
+// via Spec.String) so equivalent corner lists share one store key.
+func (q *StressRequest) normalize() ([]stress.Spec, analysis.SweepMode, error) {
+	mode, err := analysis.ParseSweepMode(q.Sweep)
+	if err != nil {
+		return nil, "", badRequest("%v", err)
+	}
+	q.Sweep = ""
+	if q.Engine == "" {
+		q.Engine = "behav"
+	}
+	if q.Engine != "behav" && q.Engine != "spice" {
+		return nil, "", badRequest("unknown engine %q (want behav or spice)", q.Engine)
+	}
+	if q.MarchEngine == "" {
+		q.MarchEngine = "memsim"
+	}
+	corners := stress.DefaultCorners()
+	if q.Corners != "" {
+		corners, err = stress.ParseSpecs(q.Corners)
+		if err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+	}
+	corners = stress.EnsureNominal(corners)
+	rendered := make([]string, len(corners))
+	for i, c := range corners {
+		rendered[i] = c.String()
+	}
+	q.Corners = strings.Join(rendered, ";")
+	if len(q.RDefs) == 0 {
+		if q.RDefMin == 0 {
+			q.RDefMin = 1e3
+		}
+		if q.RDefMax == 0 {
+			q.RDefMax = 1e7
+		}
+		if q.RDefSteps == 0 {
+			q.RDefSteps = 13
+		}
+		q.RDefs = numeric.Logspace(q.RDefMin, q.RDefMax, q.RDefSteps)
+	}
+	if len(q.Us) == 0 {
+		if q.UMax == 0 {
+			q.UMax = 3.3
+		}
+		if q.USteps == 0 {
+			q.USteps = 12
+		}
+		q.Us = numeric.Linspace(q.UMin, q.UMax, q.USteps)
+	}
+	q.RDefMin, q.RDefMax, q.RDefSteps = 0, 0, 0
+	q.UMin, q.UMax, q.USteps = 0, 0, 0
+	if q.Rows == 0 {
+		q.Rows = 4
+	}
+	if q.Cols == 0 {
+		q.Cols = 2
+	}
+	sort.Ints(q.Opens)
+	return corners, mode, nil
+}
+
+func (s *Server) handleStress(w http.ResponseWriter, r *http.Request) {
+	s.countRequest("stress")
+	var q StressRequest
+	if err := decodeBody(r.Body, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	corners, mode, err := q.normalize()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var opens []defect.Open
+	if len(q.Opens) > 0 {
+		for _, id := range q.Opens {
+			o, ok := defect.ByID(id)
+			if !ok {
+				writeError(w, badRequest("unknown open %d", id))
+				return
+			}
+			opens = append(opens, o)
+		}
+	}
+	marchEng, err := marchEngine(q.MarchEngine)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tests, err := testsByName(q.Tests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Reject invalid corners before keying: a corner that cannot derive
+	// a lint-clean technology is a client error, not a cacheable result.
+	for _, c := range corners {
+		if _, derr := c.Derive(s.tech); derr != nil {
+			writeError(w, badRequest("%v", derr))
+			return
+		}
+	}
+	spec, err := canonicalSpec(&q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// The stress matrix spans derived models, but every derivation is a
+	// pure function of the base model and the corner list (in the spec) —
+	// the base fingerprint therefore still addresses the result
+	// correctly, and a base technology change invalidates every corner.
+	key := store.Key{Model: string(s.model(q.Engine)), Catalog: s.catalogFP, Kind: "stress", Spec: spec}
+	payload, fromStore, collapsed, err := s.cached(key, func() (any, error) {
+		res, err := stress.Analyze(stress.Config{
+			Corners: corners,
+			Engine:  q.Engine,
+			Params:  s.params, Tech: s.tech,
+			MarchEngine: marchEng,
+			Opens:       opens,
+			RDefs:       q.RDefs, Us: q.Us,
+			Tests: tests,
+			Rows:  q.Rows, Cols: q.Cols,
+			Pool: s.pool, Memo: s.memo,
+			Ctx:   r.Context(),
+			Sweep: mode, Trace: s.trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.stressMatrices++
+		s.stressCorners += uint64(len(res.Corners))
+		s.mu.Unlock()
+		return report.ToStressJSON(res), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, payload, fromStore, collapsed)
+}
+
 // --- batch ---
 
 // BatchItem is one sub-request of a batch: an endpoint kind plus its
@@ -847,6 +1045,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"twocell":   s.handleTwoCell,
 		"matrix":    s.handleMatrix,
 		"predict":   s.handlePredict,
+		"stress":    s.handleStress,
 	}
 	results := make([]BatchItemResult, len(q.Requests))
 	var wg sync.WaitGroup

@@ -421,3 +421,145 @@ func TestGridDefaultsAreCanonical(t *testing.T) {
 		t.Fatalf("specs differ:\n%s\n%s", sa, sb)
 	}
 }
+
+// smallStress keeps the stress matrix fast: two corners (nominal is
+// ensured), two opens, a 2×3 grid and one march test on a 2×2 array.
+const smallStress = `{"corners":"low-vdd","tests":["March PF"],"opens":[1,5],"rdefs":[1e4,1e6],"us":[0,1.5,3.3],"rows":2,"cols":2}`
+
+// TestStressStoreEquivalence extends the store suite to /v1/stress: the
+// stored payload, the restart payload, and an independent store-less
+// computation must all be byte-identical to the fresh one.
+func TestStressStoreEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	fresh := postEnvelope(t, s1, "/v1/stress", smallStress)
+	if fresh.Cached {
+		t.Fatal("first stress request claims to be cached")
+	}
+	again := postEnvelope(t, s1, "/v1/stress", smallStress)
+	if !again.Cached {
+		t.Fatal("second stress request missed the store")
+	}
+	if !bytes.Equal(fresh.Result, again.Result) {
+		t.Fatal("stored stress result differs from fresh result")
+	}
+	s1.Close()
+
+	s2 := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	reborn := postEnvelope(t, s2, "/v1/stress", smallStress)
+	if !reborn.Cached {
+		t.Fatal("restarted server missed the stress store entry")
+	}
+	if !bytes.Equal(fresh.Result, reborn.Result) {
+		t.Fatal("stress result changed across restart")
+	}
+
+	s3 := newTestServer(t, Config{Parallelism: 2})
+	scratch := postEnvelope(t, s3, "/v1/stress", smallStress)
+	if scratch.Cached {
+		t.Fatal("store-less server claims a stress cache hit")
+	}
+	if !bytes.Equal(fresh.Result, scratch.Result) {
+		t.Fatal("stored stress result differs from an independent fresh computation")
+	}
+}
+
+// TestStressNominalMatchesInventory pins the identity the whole stress
+// axis hangs on, through the service path: the nominal corner's
+// inventory inside a /v1/stress response is byte-identical to the
+// /v1/inventory result for the same grid.
+func TestStressNominalMatchesInventory(t *testing.T) {
+	s := newTestServer(t, Config{Parallelism: 2})
+	grid := `"opens":[1,5],"rdefs":[1e4,1e6],"us":[0,1.5,3.3]`
+	stressEnv := postEnvelope(t, s, "/v1/stress", `{"corners":"low-vdd","tests":["March PF"],`+grid+`,"rows":2,"cols":2}`)
+	invEnv := postEnvelope(t, s, "/v1/inventory", `{`+grid+`}`)
+	var res struct {
+		NominalIndex int `json:"nominal_index"`
+		Corners      []struct {
+			Name      string          `json:"name"`
+			Model     string          `json:"model"`
+			Inventory json.RawMessage `json:"inventory"`
+		} `json:"corners"`
+	}
+	if err := json.Unmarshal(stressEnv.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	nom := res.Corners[res.NominalIndex]
+	if nom.Name != "nominal" {
+		t.Fatalf("nominal corner is %q", nom.Name)
+	}
+	if !bytes.Equal(bytes.TrimSpace(nom.Inventory), bytes.TrimSpace(invEnv.Result)) {
+		t.Fatalf("nominal stress inventory differs from /v1/inventory:\n%s\n%s", nom.Inventory, invEnv.Result)
+	}
+}
+
+// TestStressCanonicalCorners checks that equivalent corner spellings
+// share one store key: the built-in name and its explicit key=val
+// derivation normalize to the same canonical corner list.
+func TestStressCanonicalCorners(t *testing.T) {
+	a := StressRequest{Corners: "low-vdd"}
+	if _, _, err := a.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := StressRequest{Corners: "nominal;low-vdd:vdd=0.9,vpp=0.9,temp=27", Sweep: "traced"}
+	if _, mode, err := b.normalize(); err != nil || mode != analysis.SweepTraced {
+		t.Fatalf("normalize: mode=%v err=%v", mode, err)
+	}
+	sa, err := canonicalSpec(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := canonicalSpec(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("stress specs differ:\n%s\n%s", sa, sb)
+	}
+}
+
+// TestStressBadRequests drives the invalid-corner error paths.
+func TestStressBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct{ body string }{
+		{`{"corners":"volcanic"}`},                     // unknown built-in
+		{`{"corners":"hot:temp=400"}`},                 // out of lint range
+		{`{"corners":"hot:vdd=-1"}`},                   // non-physical scale
+		{`{"corners":"hot:temp=nan"}`},                 // non-finite parameter
+		{`{"corners":"a:vdd=1.1;a:vdd=0.9"}`},          // duplicate names
+		{`{"corners":"hot:speed=9"}`},                  // unknown key
+		{`{"engine":"verilog"}`},                       // unknown engine
+		{`{"march_engine":"quantum"}`},                 // unknown march engine
+		{`{"tests":["March ZZ"]}`},                     // unknown test
+		{`{"opens":[99]}`},                             // unknown open
+		{`{"corners":"lights-out:vdd=0.05"}`},          // derives an invalid technology
+	}
+	for _, c := range cases {
+		code, buf := post(t, s, "/v1/stress", c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("/v1/stress %s: status %d (%s), want 400", c.body, code, buf)
+		}
+	}
+}
+
+// TestStressMetrics checks the stress counters: computed matrices and
+// corners are counted once; the store hit adds nothing.
+func TestStressMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{StoreDir: dir, Parallelism: 2})
+	postEnvelope(t, s, "/v1/stress", smallStress)
+	postEnvelope(t, s, "/v1/stress", smallStress)
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["stress"] != 2 {
+		t.Fatalf("stress request counter = %d", m.Requests["stress"])
+	}
+	if m.Stress.Matrices != 1 || m.Stress.Corners != 2 {
+		t.Fatalf("stress compute counters = %+v, want 1 matrix over 2 corners", m.Stress)
+	}
+}

@@ -1,0 +1,157 @@
+package stress
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/march"
+)
+
+// CornerVerdict is one corner's evidence for a (test, family) claim.
+type CornerVerdict struct {
+	// Corner names the corner.
+	Corner string `json:"corner"`
+	// Present reports whether the family appears in the corner's
+	// inventory at all.
+	Present bool `json:"present"`
+	// Possible is the corner row's completion outcome (false also when
+	// absent).
+	Possible bool `json:"possible"`
+	// Completed renders the corner's completed FP ("" when absent or
+	// uncompletable).
+	Completed string `json:"completed,omitempty"`
+	// Proved is the static detection prover's verdict for the corner's
+	// catalog entry (Unknown when absent).
+	Proved string `json:"proved,omitempty"`
+	// Simulated reports the engine's detection verdict at the matrix
+	// geometry, with the scenario counts.
+	Simulated bool `json:"simulated"`
+	Caught    int  `json:"caught"`
+	Scenarios int  `json:"scenarios"`
+}
+
+// Claim is one (test, family) row of the worst-corner certificate. A
+// claim is made only when, at every corner where the family exists, the
+// completion is possible, the static prover proves detection, and the
+// engine's simulation at the matrix geometry detects every scenario —
+// the conjunction over corners is what "worst-corner" means.
+type Claim struct {
+	Test   string `json:"test"`
+	Family string `json:"family"`
+	// Claimed is the worst-corner coverage claim.
+	Claimed bool `json:"claimed"`
+	// Reason explains a withheld claim ("" when claimed).
+	Reason string `json:"reason,omitempty"`
+	// Corners carries the per-corner evidence, in matrix corner order
+	// (corners where the family is absent included, marked Present
+	// false).
+	Corners []CornerVerdict `json:"corners"`
+}
+
+// Certificate is the worst-corner coverage certificate: every march
+// test crossed with every fault family present at any corner.
+type Certificate struct {
+	// Rows and Cols are the simulation geometry behind the Simulated
+	// verdicts; the Proved verdicts are geometry-quantified.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Claims holds tests in submission order, families sorted within a
+	// test.
+	Claims []Claim `json:"claims"`
+}
+
+// Claimed counts the made claims.
+func (c Certificate) Claimed() int {
+	n := 0
+	for _, cl := range c.Claims {
+		if cl.Claimed {
+			n++
+		}
+	}
+	return n
+}
+
+// buildCertificate assembles the worst-corner certificate from the
+// per-corner inventories, coverage matrices and the static prover.
+func buildCertificate(res *Result, tests []march.Test) Certificate {
+	// Collect the family universe and each corner's entry per family.
+	var families []FamilyKey
+	seen := map[FamilyKey]bool{}
+	entries := make([]map[string]march.CatalogEntry, len(res.Corners))
+	for ci, run := range res.Corners {
+		entries[ci] = map[string]march.CatalogEntry{}
+		for ri, e := range run.Catalog {
+			entries[ci][e.Name] = e
+			k := familyOf(run.Rows[ri])
+			if !seen[k] {
+				seen[k] = true
+				families = append(families, k)
+			}
+		}
+	}
+	sort.Slice(families, func(a, b int) bool { return families[a].less(families[b]) })
+
+	// Index coverage rows: corner → test → family name → result.
+	cover := make([]map[string]map[string]march.CoverageResult, len(res.Corners))
+	for ci, run := range res.Corners {
+		cover[ci] = map[string]map[string]march.CoverageResult{}
+		for _, cr := range run.Coverage {
+			m := cover[ci][cr.Test]
+			if m == nil {
+				m = map[string]march.CoverageResult{}
+				cover[ci][cr.Test] = m
+			}
+			m[cr.Fault] = cr
+		}
+	}
+
+	cert := Certificate{Rows: res.Rows, Cols: res.Cols}
+	for _, t := range tests {
+		for _, fam := range families {
+			cl := Claim{Test: t.Name, Family: fam.String(), Claimed: true}
+			anywhere := false
+			for ci, run := range res.Corners {
+				e, present := entries[ci][fam.String()]
+				cv := CornerVerdict{Corner: run.Spec.Name, Present: present}
+				if !present {
+					cl.Corners = append(cl.Corners, cv)
+					continue
+				}
+				anywhere = true
+				cv.Possible = !e.Uncompletable
+				if cv.Possible {
+					cv.Completed = e.FP.String()
+				}
+				proof := march.ProveDetects(t, e)
+				cv.Proved = proof.Verdict.String()
+				if cr, ok := cover[ci][t.Name][fam.String()]; ok {
+					cv.Simulated, cv.Caught, cv.Scenarios = cr.Detected, cr.Caught, cr.Scenarios
+				}
+				withhold := func(format string, args ...any) {
+					if cl.Claimed {
+						cl.Claimed = false
+						cl.Reason = fmt.Sprintf(format, args...)
+					}
+				}
+				injectReason, uninjectable := run.Uninjectable[fam.String()]
+				switch {
+				case e.Uncompletable:
+					withhold("uncompletable at corner %s (no march test can sensitize it)", run.Spec.Name)
+				case proof.Verdict != march.VerdictDetects:
+					withhold("not statically proven at corner %s (prover: %s)", run.Spec.Name, proof.Verdict)
+				case uninjectable:
+					withhold("completion not injectable at corner %s (%s)", run.Spec.Name, injectReason)
+				case !cv.Simulated:
+					withhold("escapes simulation at corner %s (%d/%d scenarios caught)", run.Spec.Name, cv.Caught, cv.Scenarios)
+				}
+				cl.Corners = append(cl.Corners, cv)
+			}
+			if !anywhere {
+				cl.Claimed = false
+				cl.Reason = "family absent from every corner"
+			}
+			cert.Claims = append(cert.Claims, cl)
+		}
+	}
+	return cert
+}

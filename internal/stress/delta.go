@@ -1,0 +1,140 @@
+package stress
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memtest/partialfaults/internal/analysis"
+)
+
+// RegionStat summarizes where a family's fault region sits in a
+// corner's plane: how many R_def rows show the FFM at all, how many of
+// those are partial, and the floating-voltage span of the partial
+// observations. Because every corner sweeps the same grid, the stats
+// compare cell-for-cell across corners.
+type RegionStat struct {
+	NRDef    int     `json:"n_rdef"`
+	NPartial int     `json:"n_partial"`
+	ULow     float64 `json:"u_low"`
+	UHigh    float64 `json:"u_high"`
+}
+
+// regionOf projects an inventory row's partial finding.
+func regionOf(r analysis.Row) RegionStat {
+	return RegionStat{
+		NRDef:    len(r.Partial.RDefWithFFM),
+		NPartial: len(r.Partial.RDefWithPartial),
+		ULow:     r.Partial.ULow,
+		UHigh:    r.Partial.UHigh,
+	}
+}
+
+// String renders the stat compactly.
+func (s RegionStat) String() string {
+	return fmt.Sprintf("%d R_def rows (%d partial), U ∈ [%.2f, %.2f] V", s.NRDef, s.NPartial, s.ULow, s.UHigh)
+}
+
+// RowChange describes one family whose row differs between the nominal
+// and a stress corner.
+type RowChange struct {
+	Family string `json:"family"`
+	// Grew is +1 when the corner's region spans more grid rows than
+	// nominal, -1 when fewer, 0 when equal.
+	Grew int `json:"grew"`
+	// From and To render the nominal and corner rows.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// CornerDelta reports how one corner's inventory moved against the
+// nominal corner: families that appeared, disappeared, or stayed but
+// changed (completion flipped or the region moved).
+type CornerDelta struct {
+	Corner string `json:"corner"`
+	// Appeared and Disappeared list family keys, sorted.
+	Appeared    []string `json:"appeared,omitempty"`
+	Disappeared []string `json:"disappeared,omitempty"`
+	// Changed lists families present in both whose row differs.
+	Changed []RowChange `json:"changed,omitempty"`
+}
+
+// Unchanged reports whether the corner's inventory is identical (at
+// family/region granularity) to nominal's.
+func (d CornerDelta) Unchanged() bool {
+	return len(d.Appeared) == 0 && len(d.Disappeared) == 0 && len(d.Changed) == 0
+}
+
+// describeRow renders a row for the delta report.
+func describeRow(r analysis.Row) string {
+	if !r.Possible {
+		return fmt.Sprintf("Not possible; %s", regionOf(r))
+	}
+	return fmt.Sprintf("completed %s; %s", r.Completed, regionOf(r))
+}
+
+// buildDeltas compares every non-nominal corner against nominal. One
+// delta per non-nominal corner, in corner order; lists inside each
+// delta are sorted by family key.
+func buildDeltas(res *Result) []CornerDelta {
+	nominal := res.Nominal()
+	nomRows := map[FamilyKey]analysis.Row{}
+	for _, r := range nominal.Rows {
+		nomRows[familyOf(r)] = r
+	}
+	var out []CornerDelta
+	for i, run := range res.Corners {
+		if i == res.NominalIndex {
+			continue
+		}
+		d := CornerDelta{Corner: run.Spec.Name}
+		cornerRows := map[FamilyKey]analysis.Row{}
+		var keys []FamilyKey
+		for _, r := range run.Rows {
+			k := familyOf(r)
+			cornerRows[k] = r
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a].less(keys[b]) })
+		for _, k := range keys {
+			cr := cornerRows[k]
+			nr, inNominal := nomRows[k]
+			if !inNominal {
+				d.Appeared = append(d.Appeared, k.String())
+				continue
+			}
+			if rowEqual(nr, cr) {
+				continue
+			}
+			grew := 0
+			if a, b := regionOf(cr).NRDef, regionOf(nr).NRDef; a > b {
+				grew = 1
+			} else if a < b {
+				grew = -1
+			}
+			d.Changed = append(d.Changed, RowChange{
+				Family: k.String(), Grew: grew,
+				From: describeRow(nr), To: describeRow(cr),
+			})
+		}
+		var nomKeys []FamilyKey
+		for k := range nomRows {
+			if _, ok := cornerRows[k]; !ok {
+				nomKeys = append(nomKeys, k)
+			}
+		}
+		sort.Slice(nomKeys, func(a, b int) bool { return nomKeys[a].less(nomKeys[b]) })
+		for _, k := range nomKeys {
+			d.Disappeared = append(d.Disappeared, k.String())
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// rowEqual compares the delta-relevant projection of two rows:
+// completion outcome and region placement.
+func rowEqual(a, b analysis.Row) bool {
+	return a.Possible == b.Possible &&
+		a.CompletedString() == b.CompletedString() &&
+		regionOf(a) == regionOf(b)
+}

@@ -1,0 +1,72 @@
+package stress
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/memtest/partialfaults/internal/behav"
+	"github.com/memtest/partialfaults/internal/dram"
+	"github.com/memtest/partialfaults/internal/lint"
+)
+
+// assertFinite walks every float64 field of a struct (recursively) and
+// fails on NaN or ±Inf — the invariant FuzzCornerDerive enforces on
+// every accepted derivation.
+func assertFinite(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("%s = %g is not finite", path, f)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			assertFinite(t, v.Field(i), path+"."+v.Type().Field(i).Name)
+		}
+	}
+}
+
+// FuzzCornerDerive throws arbitrary strings at the corner parser and
+// the derivation: any input must either be rejected with an error or
+// produce a Technology (and analytical Params) that dram's lint
+// accepts with zero errors and that contains no NaN or Inf anywhere.
+// Nothing out-of-range may be accepted silently — the property the
+// whole "lint-clean by construction" claim rests on.
+func FuzzCornerDerive(f *testing.F) {
+	for _, c := range DefaultCorners() {
+		f.Add(c.String())
+		f.Add(c.Name)
+	}
+	f.Add("x:vdd=1.05,temp=85")
+	f.Add("x:temp=nan")
+	f.Add("x:vdd=-1")
+	f.Add("x:vdd=1e309")
+	f.Add("x:bleq=-0.3,vref=-0.3")
+	f.Add("x:vpp=0.0001")
+	f.Add(":vdd=1")
+	f.Add("x:vdd")
+	f.Add("x:warp=9")
+	f.Add("x:temp=-1000")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		tech, err := spec.Derive(dram.Default())
+		if err == nil {
+			if findings := dram.LintTechnology(tech); findings.Count(lint.Error) > 0 {
+				t.Fatalf("corner %q derived a technology lint rejects:\n%s", in, findings.Summary())
+			}
+			assertFinite(t, reflect.ValueOf(tech), "Technology")
+		}
+		p, perr := spec.DeriveParams(behav.DefaultParams())
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("corner %q: Derive err=%v but DeriveParams err=%v", in, err, perr)
+		}
+		if perr == nil {
+			assertFinite(t, reflect.ValueOf(p), "Params")
+		}
+	})
+}
